@@ -1,0 +1,53 @@
+/// \file bench_common.hpp
+/// \brief Shared plumbing for the table-reproduction harnesses.
+///
+/// Every binary in bench/ regenerates one table of the paper. They accept:
+///   --samples N     sample size (tables based on random draws)
+///   --max-nodes N   per-function search budget
+///   --full          paper-scale sample sizes (slow)
+///   --seed N        RNG seed (default 20040216, the DATE'04 date)
+/// and print through io/table.hpp so outputs are diffable.
+
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+namespace rmrls::bench {
+
+struct BenchArgs {
+  std::uint64_t samples = 0;  // 0 = binary-specific default
+  std::uint64_t max_nodes = 0;
+  bool full = false;
+  std::uint64_t seed = 20040216;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs a;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto next = [&]() -> std::string {
+        if (i + 1 >= argc) {
+          std::cerr << "missing value for " << arg << "\n";
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (arg == "--samples") {
+        a.samples = std::stoull(next());
+      } else if (arg == "--max-nodes") {
+        a.max_nodes = std::stoull(next());
+      } else if (arg == "--full") {
+        a.full = true;
+      } else if (arg == "--seed") {
+        a.seed = std::stoull(next());
+      } else {
+        std::cerr << "unknown argument: " << arg << "\n";
+        std::exit(2);
+      }
+    }
+    return a;
+  }
+};
+
+}  // namespace rmrls::bench

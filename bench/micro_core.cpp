@@ -1,0 +1,121 @@
+/// \file micro_core.cpp
+/// \brief google-benchmark microbenchmarks for the library's hot paths:
+/// the Reed-Muller transform, PPRM substitution, state hashing, candidate
+/// enumeration, circuit simulation, and end-to-end synthesis of small
+/// specs. These back the performance claims in EXPERIMENTS.md.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "baselines/transformation_based.hpp"
+#include "core/factor_enum.hpp"
+#include "core/synthesizer.hpp"
+#include "rev/pprm_transform.hpp"
+#include "rev/random.hpp"
+
+namespace {
+
+using namespace rmrls;
+
+void BM_ReedMullerTransform(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::mt19937_64 rng(1);
+  std::vector<std::uint8_t> f(std::size_t{1} << n);
+  for (auto& v : f) v = static_cast<std::uint8_t>(rng() & 1);
+  for (auto _ : state) {
+    std::vector<std::uint8_t> copy = f;
+    reed_muller_transform(copy);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ReedMullerTransform)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_PprmOfTruthTable(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::mt19937_64 rng(2);
+  const TruthTable tt = random_reversible_function(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pprm_of_truth_table(tt));
+  }
+}
+BENCHMARK(BM_PprmOfTruthTable)->Arg(3)->Arg(5)->Arg(8)->Arg(12);
+
+void BM_Substitution(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::mt19937_64 rng(3);
+  const Pprm base = pprm_of_truth_table(random_reversible_function(n, rng));
+  const Cube factor = cube_of_var(1) | cube_of_var(2);
+  for (auto _ : state) {
+    Pprm p = base;
+    p.substitute(0, factor);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_Substitution)->Arg(3)->Arg(5)->Arg(8);
+
+void BM_PprmHash(benchmark::State& state) {
+  std::mt19937_64 rng(4);
+  const Pprm p = pprm_of_truth_table(random_reversible_function(6, rng));
+  for (auto _ : state) benchmark::DoNotOptimize(p.hash());
+}
+BENCHMARK(BM_PprmHash);
+
+void BM_EnumerateCandidates(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::mt19937_64 rng(5);
+  const Pprm p = pprm_of_truth_table(random_reversible_function(n, rng));
+  const SynthesisOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enumerate_candidates(p, options, nullptr));
+  }
+}
+BENCHMARK(BM_EnumerateCandidates)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_CircuitSimulate(benchmark::State& state) {
+  std::mt19937_64 rng(6);
+  const Circuit c = random_circuit(16, 25, GateLibrary::kGT, rng);
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    x = c.simulate(x) + 1;
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_CircuitSimulate);
+
+void BM_SynthesizeFig1(benchmark::State& state) {
+  const Pprm spec =
+      pprm_of_truth_table(TruthTable({1, 0, 7, 2, 3, 4, 5, 6}));
+  SynthesisOptions o;
+  o.max_nodes = 20000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synthesize(spec, o));
+  }
+}
+BENCHMARK(BM_SynthesizeFig1);
+
+void BM_Synthesize3Var(benchmark::State& state) {
+  std::mt19937_64 rng(7);
+  const Pprm spec = pprm_of_truth_table(random_reversible_function(3, rng));
+  SynthesisOptions o;
+  o.max_nodes = 20000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synthesize(spec, o));
+  }
+}
+BENCHMARK(BM_Synthesize3Var);
+
+void BM_TransformationBased(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::mt19937_64 rng(8);
+  const TruthTable spec = random_reversible_function(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synthesize_transformation_bidir(spec));
+  }
+}
+BENCHMARK(BM_TransformationBased)->Arg(3)->Arg(6)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

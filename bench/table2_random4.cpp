@@ -1,0 +1,59 @@
+/// \file table2_random4.cpp
+/// \brief Reproduces Table II: circuit-size histogram for random
+/// four-variable reversible functions.
+///
+/// The paper draws 50000 uniform random permutations of {0..15}, 60 s per
+/// function, a 40-gate cap, and the greedy pruning option. Default here:
+/// 2000 seeded samples with a deterministic node budget (--full for 50000).
+
+#include <iostream>
+#include <random>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/synthesizer.hpp"
+#include "io/table.hpp"
+#include "rev/random.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rmrls;
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  const std::uint64_t sample =
+      args.full ? 50000 : (args.samples ? args.samples : 500);
+
+  SynthesisOptions options;
+  options.max_nodes = args.max_nodes ? args.max_nodes : 30000;
+  options.max_gates = 40;   // the paper's cap
+  options.greedy_k = 0;
+
+  std::cout << "=== Table II: random four-variable reversible functions ===\n"
+            << sample << " seeded samples (paper: 50000), max 40 gates, "
+            << options.max_nodes << " nodes per function\n\n";
+
+  std::vector<std::uint64_t> histogram(41, 0);
+  std::uint64_t fails = 0;
+  double gate_sum = 0;
+  std::mt19937_64 rng(args.seed);
+  for (std::uint64_t i = 0; i < sample; ++i) {
+    const TruthTable f = random_reversible_function(4, rng);
+    const SynthesisResult r = synthesize(f, options);
+    if (!r.success) {
+      ++fails;
+      continue;
+    }
+    ++histogram[static_cast<std::size_t>(r.circuit.gate_count())];
+    gate_sum += r.circuit.gate_count();
+  }
+
+  TextTable table({"Circuit size", "No. of circuits"});
+  for (std::size_t g = 0; g <= 40; ++g) {
+    if (histogram[g] == 0) continue;
+    table.add_row({std::to_string(g), std::to_string(histogram[g])});
+  }
+  table.print(std::cout);
+  std::cout << "\nAverage size: " << fixed(gate_sum / (sample - fails))
+            << "   failures: " << fails << " / " << sample << "\n";
+  std::cout << "Paper reference: sizes 6-21, mode at 14 (9053 of 50000),"
+               " all 50000 synthesized.\n";
+  return 0;
+}

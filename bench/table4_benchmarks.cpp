@@ -1,0 +1,79 @@
+/// \file table4_benchmarks.cpp
+/// \brief Reproduces Table IV: the named benchmark suite with gate counts
+/// and quantum costs, against the paper's own numbers and the best
+/// published results of the time [13].
+///
+/// Every synthesized circuit is verified against its specification before
+/// being reported; verification failures abort with a nonzero exit.
+
+#include <iostream>
+#include <optional>
+
+#include "bench/bench_common.hpp"
+#include "bench_suite/registry.hpp"
+#include "core/synthesizer.hpp"
+#include "io/table.hpp"
+#include "rev/quantum_cost.hpp"
+#include "templates/simplify.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rmrls;
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+
+  SynthesisOptions options;
+  options.max_nodes = args.max_nodes ? args.max_nodes : 200000;
+
+  std::cout << "=== Table IV: reversible logic benchmarks ===\n"
+            << "search budget " << options.max_nodes
+            << " nodes per benchmark; every circuit verified against its"
+               " spec\n\n";
+
+  const auto opt_str = [](const auto& v) {
+    return v ? std::to_string(*v) : std::string("-");
+  };
+
+  TextTable table({"Benchmark", "Lines", "Gates", "Cost", "Paper gates",
+                   "Paper cost", "Best [13] gates", "Best [13] cost", "ok"});
+  bool all_verified = true;
+  int failures = 0;
+  for (const std::string& name : suite::benchmark_names()) {
+    const suite::Benchmark b = suite::get_benchmark(name);
+    // Functions narrow enough to invert are searched in both directions
+    // (the mirror of a cascade for f^-1 realizes f); wide structural
+    // specs run forward-only.
+    const SynthesisResult r = b.table
+                                  ? synthesize_bidirectional(*b.table, options)
+                                  : synthesize(b.pprm, options);
+    std::string gates = "DNF";
+    std::string cost = "-";
+    std::string ok = "-";
+    if (r.success) {
+      const Circuit simplified = simplify_templates(r.circuit).circuit;
+      gates = std::to_string(simplified.gate_count());
+      cost = std::to_string(quantum_cost(simplified));
+      const bool verified = implements(simplified, b.pprm);
+      ok = verified ? "yes" : "NO";
+      all_verified &= verified;
+    } else {
+      ++failures;
+    }
+    table.add_row({name + (b.info.nct_comparison ? "*" : ""),
+                   std::to_string(b.info.lines), gates, cost,
+                   opt_str(b.info.paper_gates), opt_str(b.info.paper_cost),
+                   opt_str(b.info.best_gates), opt_str(b.info.best_cost),
+                   ok});
+  }
+  table.print(std::cout);
+  std::cout << "\n* = the paper compares this row using the NCT library.\n"
+            << "DNF = not synthesized within the node budget (the paper"
+               " also reports memory-bound failures on the ham/hwb/sym"
+               " families beyond this suite).\n"
+            << "Note: 2of5, 5one245, majority3, ham3/ham7, and the mod"
+               " adders use our documented embeddings/definitions, so"
+               " absolute numbers can differ; see EXPERIMENTS.md.\n";
+  if (!all_verified) {
+    std::cerr << "ERROR: a synthesized circuit failed verification\n";
+    return 1;
+  }
+  return 0;
+}

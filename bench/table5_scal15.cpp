@@ -1,0 +1,11 @@
+/// \file table5_scal15.cpp
+/// \brief Reproduces Table V: random 6-16-variable reversible functions
+/// built from cascades of at most 15 gates (paper: 500 samples per row).
+
+#include "bench/scalability_common.hpp"
+
+int main(int argc, char** argv) {
+  return rmrls::bench::run_scalability_table(
+      "Table V: random reversible functions, max gate count 15", 15, 500,
+       50, 30000, argc, argv);
+}

@@ -1,0 +1,11 @@
+/// \file table6_scal20.cpp
+/// \brief Reproduces Table VI: random 6-16-variable reversible functions
+/// built from cascades of at most 20 gates (paper: 1000 samples per row).
+
+#include "bench/scalability_common.hpp"
+
+int main(int argc, char** argv) {
+  return rmrls::bench::run_scalability_table(
+      "Table VI: random reversible functions, max gate count 20", 20, 1000,
+       30, 20000, argc, argv);
+}

@@ -1,0 +1,12 @@
+/// \file table7_scal25.cpp
+/// \brief Reproduces Table VII: random 6-16-variable reversible functions
+/// built from cascades of at most 25 gates (paper: 1000 samples per row;
+/// this is the regime where the paper's failure rates climb to 20-45%).
+
+#include "bench/scalability_common.hpp"
+
+int main(int argc, char** argv) {
+  return rmrls::bench::run_scalability_table(
+      "Table VII: random reversible functions, max gate count 25", 25, 1000,
+       15, 12000, argc, argv);
+}

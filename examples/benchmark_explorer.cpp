@@ -1,0 +1,86 @@
+/// \file benchmark_explorer.cpp
+/// \brief Synthesizes a named benchmark from the paper's suite and compares
+/// RMRLS against both baselines (greedy PPRM and transformation-based),
+/// with and without template post-processing.
+///
+/// Build & run:  ./build/examples/benchmark_explorer [name]
+/// (default: hwb4; pass --list to enumerate names)
+
+#include <iostream>
+#include <string>
+
+#include "baselines/greedy_pprm.hpp"
+#include "baselines/transformation_based.hpp"
+#include "bench_suite/registry.hpp"
+#include "core/synthesizer.hpp"
+#include "io/table.hpp"
+#include "rev/quantum_cost.hpp"
+#include "templates/simplify.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rmrls;
+  std::string name = argc > 1 ? argv[1] : "hwb4";
+  if (name == "--list") {
+    for (const std::string& n : suite::benchmark_names()) {
+      std::cout << n << "\n";
+    }
+    return 0;
+  }
+
+  const suite::Benchmark b = suite::get_benchmark(name);
+  std::cout << "Benchmark " << b.info.name << ": " << b.info.lines
+            << " lines (" << b.info.real_inputs << " real, "
+            << b.info.garbage_inputs << " garbage), "
+            << b.pprm.term_count() << " PPRM terms\n\n";
+
+  TextTable table({"Method", "Gates", "Cost", "Verified"});
+  const auto add_row = [&](const std::string& method, const Circuit& c,
+                           bool ok) {
+    table.add_row({method, std::to_string(c.gate_count()),
+                   std::to_string(quantum_cost(c)), ok ? "yes" : "NO"});
+  };
+
+  SynthesisOptions options;
+  options.max_nodes = 200000;
+  const SynthesisResult rmrls_result = synthesize(b.pprm, options);
+  if (rmrls_result.success) {
+    add_row("RMRLS", rmrls_result.circuit,
+            implements(rmrls_result.circuit, b.pprm));
+    const Circuit simplified =
+        simplify_templates(rmrls_result.circuit).circuit;
+    add_row("RMRLS + templates", simplified, implements(simplified, b.pprm));
+  } else {
+    table.add_row({"RMRLS", "DNF", "-", "-"});
+  }
+
+  const SynthesisResult greedy = synthesize_greedy(b.pprm);
+  if (greedy.success) {
+    add_row("Greedy PPRM", greedy.circuit, implements(greedy.circuit, b.pprm));
+  } else {
+    table.add_row({"Greedy PPRM", "DNF", "-", "-"});
+  }
+
+  if (b.table) {
+    const Circuit mmd = synthesize_transformation_bidir(*b.table);
+    add_row("MMD bidirectional", mmd, implements(mmd, *b.table));
+    const Circuit mmd_simplified = simplify_templates(mmd).circuit;
+    add_row("MMD + templates", mmd_simplified,
+            implements(mmd_simplified, *b.table));
+  } else {
+    table.add_row(
+        {"MMD bidirectional", "-", "-", "needs a truth table (<= 14 lines)"});
+  }
+
+  table.print(std::cout);
+  if (b.info.paper_gates) {
+    std::cout << "\nPaper (Table IV): " << *b.info.paper_gates << " gates";
+    if (b.info.paper_cost) std::cout << ", cost " << *b.info.paper_cost;
+    if (b.info.best_gates) {
+      std::cout << "; best published [13]: " << *b.info.best_gates
+                << " gates";
+      if (b.info.best_cost) std::cout << ", cost " << *b.info.best_cost;
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+#include "baselines/greedy_pprm.hpp"
+
+#include <chrono>
+
+#include "core/factor_enum.hpp"
+#include "rev/pprm_transform.hpp"
+
+namespace rmrls {
+
+SynthesisResult synthesize_greedy(const Pprm& spec,
+                                  const SynthesisOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  const auto start_time = Clock::now();
+
+  SynthesisResult result;
+  result.initial_terms = spec.term_count();
+  Pprm state = spec;
+  Circuit circuit(spec.num_vars());
+  const int max_gates = options.max_gates > 0 ? options.max_gates : 1 << 14;
+  Candidate previous{};
+  bool have_previous = false;
+
+  while (!state.is_identity() && circuit.gate_count() < max_gates) {
+    const std::vector<Candidate> candidates = enumerate_candidates(
+        state, options, have_previous ? &previous : nullptr);
+    const int terms = state.term_count();
+    const int depth = circuit.gate_count() + 1;
+
+    bool found = false;
+    Candidate best{};
+    Pprm best_state;
+    double best_priority = 0.0;
+    for (const Candidate& cand : candidates) {
+      Pprm next = state;
+      const int delta = next.substitute(cand.target, cand.factor);
+      ++result.stats.children_created;
+      const int elim = -delta;
+      if (!cand.is_complement() && elim <= 0) {
+        ++result.stats.pruned_elim;
+        continue;
+      }
+      const double priority =
+          options.alpha * depth +
+          options.beta * static_cast<double>(elim) / depth -
+          options.gamma * literal_count(cand.factor);
+      if (!found || priority > best_priority) {
+        found = true;
+        best = cand;
+        best_state = std::move(next);
+        best_priority = priority;
+      }
+    }
+    if (!found) break;  // stuck: no substitution makes progress
+    (void)terms;
+    state = std::move(best_state);
+    circuit.append(Gate(best.factor, best.target));
+    previous = best;
+    have_previous = true;
+    ++result.stats.nodes_expanded;
+  }
+
+  result.stats.elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      Clock::now() - start_time);
+  if (state.is_identity()) {
+    result.success = true;
+    result.circuit = std::move(circuit);
+    result.stats.solutions_found = 1;
+  } else {
+    result.circuit = Circuit(spec.num_vars());
+  }
+  return result;
+}
+
+SynthesisResult synthesize_greedy(const TruthTable& spec,
+                                  const SynthesisOptions& options) {
+  return synthesize_greedy(pprm_of_truth_table(spec), options);
+}
+
+}  // namespace rmrls

@@ -1,0 +1,27 @@
+/// \file greedy_pprm.hpp
+/// \brief Naive/greedy PPRM cascade synthesis (no search tree).
+///
+/// The "naive algorithm" the paper's introduction contrasts against: commit
+/// to the single most attractive substitution at every step, with no queue,
+/// no backtracking and no look-ahead. Serves as the weakest baseline in the
+/// ablation benches; like the heuristic RMRLS configurations, it can fail.
+
+#pragma once
+
+#include "core/options.hpp"
+#include "core/search.hpp"
+#include "rev/pprm.hpp"
+#include "rev/truth_table.hpp"
+
+namespace rmrls {
+
+/// Greedy synthesis: repeatedly apply the best-priority substitution until
+/// the system is the identity, the step limit is hit, or no substitution
+/// reduces the term count.
+[[nodiscard]] SynthesisResult synthesize_greedy(
+    const Pprm& spec, const SynthesisOptions& options = {});
+
+[[nodiscard]] SynthesisResult synthesize_greedy(
+    const TruthTable& spec, const SynthesisOptions& options = {});
+
+}  // namespace rmrls

@@ -1,0 +1,160 @@
+#include "baselines/optimal_bfs.hpp"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <stdexcept>
+
+#include "rev/gate.hpp"
+
+namespace rmrls {
+
+namespace {
+
+constexpr int kStates = 8;
+constexpr std::uint32_t kCodes = 1u << 24;  // 8 images x 3 bits
+
+std::uint32_t pack_image(const std::array<std::uint8_t, kStates>& image) {
+  std::uint32_t code = 0;
+  for (int x = 0; x < kStates; ++x) {
+    code |= static_cast<std::uint32_t>(image[x]) << (3 * x);
+  }
+  return code;
+}
+
+/// All single-gate permutations of the library.
+std::vector<MixedGate> library_gates(OptimalLibrary lib) {
+  std::vector<MixedGate> gates;
+  for (int t = 0; t < 3; ++t) {
+    gates.push_back(MixedGate::toffoli(Gate(kConstOne, t)));  // 3 NOT
+  }
+  for (int c = 0; c < 3; ++c) {
+    for (int t = 0; t < 3; ++t) {
+      if (c != t) {
+        gates.push_back(MixedGate::toffoli(Gate(cube_of_var(c), t)));  // CNOT
+      }
+    }
+  }
+  for (int t = 0; t < 3; ++t) {  // 3 TOF3
+    Cube controls = 0;
+    for (int v = 0; v < 3; ++v) {
+      if (v != t) controls |= cube_of_var(v);
+    }
+    gates.push_back(MixedGate::toffoli(Gate(controls, t)));
+  }
+  if (lib == OptimalLibrary::kNCTS) {
+    for (int a = 0; a < 3; ++a) {
+      for (int b = a + 1; b < 3; ++b) {
+        gates.push_back(MixedGate::fredkin(kConstOne, a, b));  // 3 SWAP
+      }
+    }
+  }
+  return gates;
+}
+
+}  // namespace
+
+OptimalCounts3::OptimalCounts3(OptimalLibrary lib)
+    : dist_(kCodes, std::int8_t{-1}),
+      move_(kCodes, std::int8_t{-1}),
+      library_(library_gates(lib)) {
+  // State maps of every library gate, for the BFS inner loop.
+  std::vector<std::array<std::uint8_t, kStates>> moves;
+  moves.reserve(library_.size());
+  for (const MixedGate& g : library_) {
+    std::array<std::uint8_t, kStates> m{};
+    for (int x = 0; x < kStates; ++x) {
+      m[x] = static_cast<std::uint8_t>(g.apply(static_cast<std::uint64_t>(x)));
+    }
+    moves.push_back(m);
+  }
+
+  std::array<std::uint8_t, kStates> identity{};
+  for (int x = 0; x < kStates; ++x) identity[x] = static_cast<std::uint8_t>(x);
+
+  std::deque<std::array<std::uint8_t, kStates>> frontier;
+  dist_[pack_image(identity)] = 0;
+  frontier.push_back(identity);
+  std::uint64_t reached = 1;
+  while (!frontier.empty()) {
+    const auto cur = frontier.front();
+    frontier.pop_front();
+    const int d = dist_[pack_image(cur)];
+    for (std::size_t mv = 0; mv < moves.size(); ++mv) {
+      // Appending gate g to circuit C gives the permutation g o C.
+      std::array<std::uint8_t, kStates> next{};
+      for (int x = 0; x < kStates; ++x) next[x] = moves[mv][cur[x]];
+      const std::uint32_t code = pack_image(next);
+      if (dist_[code] < 0) {
+        dist_[code] = static_cast<std::int8_t>(d + 1);
+        move_[code] = static_cast<std::int8_t>(mv);
+        frontier.push_back(next);
+        ++reached;
+      }
+    }
+  }
+  if (reached != 40320) {
+    throw std::logic_error("BFS did not reach all of S_8");
+  }
+  histogram_.assign(16, 0);
+  int max_d = 0;
+  for (std::uint32_t code = 0; code < kCodes; ++code) {
+    if (dist_[code] >= 0) {
+      ++histogram_[static_cast<std::size_t>(dist_[code])];
+      max_d = std::max<int>(max_d, dist_[code]);
+    }
+  }
+  histogram_.resize(static_cast<std::size_t>(max_d) + 1);
+}
+
+std::uint32_t OptimalCounts3::pack(const TruthTable& f) {
+  if (f.num_vars() != 3) throw std::invalid_argument("need a 3-line table");
+  std::uint32_t code = 0;
+  for (int x = 0; x < kStates; ++x) {
+    code |= static_cast<std::uint32_t>(f.apply(static_cast<std::uint64_t>(x)))
+            << (3 * x);
+  }
+  return code;
+}
+
+int OptimalCounts3::distance(const TruthTable& f) const {
+  const std::int8_t d = dist_[pack(f)];
+  if (d < 0) throw std::logic_error("unreachable permutation");
+  return d;
+}
+
+MixedCircuit OptimalCounts3::circuit(const TruthTable& f) const {
+  // BFS appended gates at the output side (F = g o F_prev), so walking
+  // predecessors from f to the identity yields the cascade back to front:
+  // F_prev = g^-1 o F = g o F (all library gates are involutions).
+  std::array<std::uint8_t, kStates> cur{};
+  for (int x = 0; x < kStates; ++x) {
+    cur[x] = static_cast<std::uint8_t>(f.apply(static_cast<std::uint64_t>(x)));
+  }
+  std::vector<MixedGate> reversed;
+  std::uint32_t code = pack(f);
+  while (dist_[code] > 0) {
+    const MixedGate& g = library_[static_cast<std::size_t>(move_[code])];
+    reversed.push_back(g);
+    for (int x = 0; x < kStates; ++x) {
+      cur[x] = static_cast<std::uint8_t>(
+          g.apply(static_cast<std::uint64_t>(cur[x])));
+    }
+    code = pack_image(cur);
+  }
+  MixedCircuit out(3);
+  for (auto it = reversed.rbegin(); it != reversed.rend(); ++it) {
+    out.append(*it);
+  }
+  return out;
+}
+
+double OptimalCounts3::average() const {
+  double weighted = 0;
+  for (std::size_t d = 0; d < histogram_.size(); ++d) {
+    weighted += static_cast<double>(d) * static_cast<double>(histogram_[d]);
+  }
+  return weighted / 40320.0;
+}
+
+}  // namespace rmrls

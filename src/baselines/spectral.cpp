@@ -1,0 +1,203 @@
+#include "baselines/spectral.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace rmrls {
+
+std::vector<std::int64_t> walsh_spectrum(const std::vector<std::uint8_t>& f) {
+  const std::size_t n = f.size();
+  if (n == 0 || !std::has_single_bit(n)) {
+    throw std::invalid_argument("truth vector size must be a power of two");
+  }
+  std::vector<std::int64_t> s(n);
+  for (std::size_t x = 0; x < n; ++x) s[x] = (f[x] & 1) ? -1 : 1;
+  for (std::size_t stride = 1; stride < n; stride <<= 1) {
+    for (std::size_t x = 0; x < n; ++x) {
+      if (x & stride) continue;
+      const std::int64_t a = s[x];
+      const std::int64_t b = s[x | stride];
+      s[x] = a + b;
+      s[x | stride] = a - b;
+    }
+  }
+  return s;
+}
+
+std::int64_t identity_distance(const TruthTable& f) {
+  std::int64_t d = 0;
+  for (std::uint64_t x = 0; x < f.size(); ++x) {
+    d += std::popcount(f.apply(x) ^ x);
+  }
+  return d;
+}
+
+namespace {
+
+/// The NCT gate library on `n` lines.
+std::vector<Gate> nct_library(int n) {
+  std::vector<Gate> gates;
+  for (int t = 0; t < n; ++t) gates.emplace_back(kConstOne, t);
+  for (int c = 0; c < n; ++c) {
+    for (int t = 0; t < n; ++t) {
+      if (c != t) gates.emplace_back(cube_of_var(c), t);
+    }
+  }
+  for (int c1 = 0; c1 < n; ++c1) {
+    for (int c2 = c1 + 1; c2 < n; ++c2) {
+      for (int t = 0; t < n; ++t) {
+        if (t != c1 && t != c2) {
+          gates.emplace_back(cube_of_var(c1) | cube_of_var(c2), t);
+        }
+      }
+    }
+  }
+  return gates;
+}
+
+std::int64_t distance_of(const std::vector<std::uint64_t>& image) {
+  std::int64_t d = 0;
+  for (std::uint64_t x = 0; x < image.size(); ++x) {
+    d += std::popcount(image[x] ^ x);
+  }
+  return d;
+}
+
+/// Secondary objective: total spectral concentration, the sum over
+/// outputs of the dominant Rademacher-Walsh coefficient magnitude. Higher
+/// means every output is closer to *some* affine function, from which the
+/// diagonal measure can usually be driven down; it breaks the plateaus
+/// where no gate strictly improves the distance (the pure [18] failure
+/// mode).
+std::int64_t concentration_of(const std::vector<std::uint64_t>& image,
+                              int num_vars) {
+  const std::size_t size = image.size();
+  std::int64_t total = 0;
+  std::vector<std::int64_t> s(size);
+  for (int out = 0; out < num_vars; ++out) {
+    for (std::size_t x = 0; x < size; ++x) {
+      s[x] = ((image[x] >> out) & 1) ? -1 : 1;
+    }
+    for (std::size_t stride = 1; stride < size; stride <<= 1) {
+      for (std::size_t x = 0; x < size; ++x) {
+        if (x & stride) continue;
+        const std::int64_t a = s[x];
+        const std::int64_t b = s[x | stride];
+        s[x] = a + b;
+        s[x | stride] = a - b;
+      }
+    }
+    std::int64_t best = 0;
+    for (std::int64_t v : s) best = std::max(best, std::abs(v));
+    total += best;
+  }
+  return total;
+}
+
+/// Lexicographic score: lower distance first, then higher concentration.
+struct Score {
+  std::int64_t distance = 0;
+  std::int64_t concentration = 0;
+
+  [[nodiscard]] bool better_than(const Score& other) const {
+    if (distance != other.distance) return distance < other.distance;
+    return concentration > other.concentration;
+  }
+};
+
+Score score_of(const std::vector<std::uint64_t>& image, int num_vars) {
+  return {distance_of(image), concentration_of(image, num_vars)};
+}
+
+std::size_t hash_image(const std::vector<std::uint64_t>& image) {
+  std::size_t h = 1469598103934665603ull;
+  for (std::uint64_t v : image) {
+    h ^= v;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+SpectralResult synthesize_spectral(const TruthTable& spec,
+                                   const SpectralOptions& options) {
+  const int n = spec.num_vars();
+  const std::vector<Gate> library = nct_library(n);
+  std::vector<std::uint64_t> image = spec.image();
+
+  std::vector<Gate> in_gates;   // applied before the remaining function
+  std::vector<Gate> out_gates;  // collected output-side, reversed at the end
+  SpectralResult result;
+
+  Score current = score_of(image, n);
+  std::vector<std::uint64_t> candidate(image.size());
+  std::unordered_set<std::size_t> visited{hash_image(image)};
+  int sideways = 0;
+  while (current.distance != 0) {
+    if (result.translations >= options.max_gates) return result;  // fail
+    // Sideways moves (equal distance) are allowed within a budget; the
+    // visited set keeps them from cycling. Uphill moves never are.
+    Score best{current.distance + 1, 0};
+    const Gate* best_gate = nullptr;
+    bool best_output_side = true;
+    for (const Gate& g : library) {
+      // Output side: f' = g o f.
+      for (std::uint64_t x = 0; x < image.size(); ++x) {
+        candidate[x] = g.apply(image[x]);
+      }
+      Score s = score_of(candidate, n);
+      if (s.better_than(best) && !visited.count(hash_image(candidate))) {
+        best = s;
+        best_gate = &g;
+        best_output_side = true;
+      }
+      if (!options.bidirectional) continue;
+      // Input side: f' = f o g.
+      for (std::uint64_t x = 0; x < image.size(); ++x) {
+        candidate[x] = image[g.apply(x)];
+      }
+      s = score_of(candidate, n);
+      if (s.better_than(best) && !visited.count(hash_image(candidate))) {
+        best = s;
+        best_gate = &g;
+        best_output_side = false;
+      }
+    }
+    if (best_gate == nullptr) return result;  // no translation left
+    if (best.distance == current.distance) {
+      if (++sideways > options.sideways_limit) return result;  // plateau
+    } else {
+      sideways = 0;
+    }
+    if (best_output_side) {
+      for (std::uint64_t& y : image) y = best_gate->apply(y);
+      out_gates.push_back(*best_gate);
+    } else {
+      // f' = f o g: permute the domain.
+      std::vector<std::uint64_t> next(image.size());
+      for (std::uint64_t x = 0; x < image.size(); ++x) {
+        next[x] = image[best_gate->apply(x)];
+      }
+      image = std::move(next);
+      in_gates.push_back(*best_gate);
+    }
+    visited.insert(hash_image(image));
+    current = best;
+    ++result.translations;
+  }
+
+  Circuit c(n);
+  for (const Gate& g : in_gates) c.append(g);
+  for (auto it = out_gates.rbegin(); it != out_gates.rend(); ++it) {
+    c.append(*it);
+  }
+  result.success = true;
+  result.circuit = std::move(c);
+  return result;
+}
+
+}  // namespace rmrls

@@ -1,0 +1,56 @@
+/// \file spectral.hpp
+/// \brief Spectral greedy synthesis in the style of Miller & Dueck [18]
+/// (Section III of the paper).
+///
+/// The method of [18] repeatedly applies the single "translation" (one
+/// gate, at the input or the output side) that most improves a complexity
+/// measure of the remaining function, with no backtracking or look-ahead;
+/// "an error is declared if no translation can be found". Our complexity
+/// measure is the distance-to-identity D(f) = sum_x wt(f(x) XOR x), which
+/// equals the diagonal Rademacher-Walsh residue: for each output i the
+/// spectral coefficient of f_i against x_i is 2^n - 2 m_i with m_i the
+/// mismatch count, so maximizing spectral gain and minimizing D coincide.
+/// The Walsh-Hadamard transform itself is exposed for tests and analysis.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rev/circuit.hpp"
+#include "rev/truth_table.hpp"
+
+namespace rmrls {
+
+/// In-place Walsh-Hadamard transform of a +/-1-encoded vector (pass the
+/// 0/1 truth vector; it is re-encoded internally). Returns the spectrum:
+/// coefficient S_w = sum_x (-1)^(f(x) XOR <w,x>).
+[[nodiscard]] std::vector<std::int64_t> walsh_spectrum(
+    const std::vector<std::uint8_t>& f);
+
+/// The complexity measure: total Hamming distance from the identity.
+/// Zero iff `f` is the identity.
+[[nodiscard]] std::int64_t identity_distance(const TruthTable& f);
+
+struct SpectralOptions {
+  bool bidirectional = true;  ///< allow input-side translations too
+  int max_gates = 4096;       ///< safety cap (the measure can plateau)
+  /// Consecutive distance-neutral ("sideways") translations allowed
+  /// before declaring the error; such moves pick the best concentration
+  /// gain and never revisit a seen state. 0 reproduces the pure strict
+  /// [18] rule, which fails on most functions.
+  int sideways_limit = 12;
+};
+
+struct SpectralResult {
+  bool success = false;
+  Circuit circuit;
+  int translations = 0;  ///< greedy steps taken
+};
+
+/// Greedy spectral synthesis over the NCT library. Fails (per [18]) when
+/// no gate strictly decreases the measure.
+[[nodiscard]] SpectralResult synthesize_spectral(
+    const TruthTable& spec, const SpectralOptions& options = {});
+
+}  // namespace rmrls

@@ -1,0 +1,274 @@
+#include "bench_suite/functions.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "rev/circuit.hpp"
+#include "rev/embedding.hpp"
+
+namespace rmrls::suite {
+
+namespace {
+
+TruthTable table_of(std::vector<std::uint64_t> image) {
+  return TruthTable(std::move(image));
+}
+
+/// Minimal reversible embedding of a single-output predicate on
+/// `num_inputs` lines.
+TruthTable embed_predicate(int num_inputs, bool (*predicate)(std::uint64_t)) {
+  IrreversibleSpec spec;
+  spec.num_inputs = num_inputs;
+  spec.num_outputs = 1;
+  spec.outputs.resize(std::uint64_t{1} << num_inputs);
+  for (std::uint64_t x = 0; x < spec.outputs.size(); ++x) {
+    spec.outputs[x] = predicate(x) ? 1 : 0;
+  }
+  return embed(spec).table;
+}
+
+}  // namespace
+
+TruthTable fig1() { return table_of({1, 0, 7, 2, 3, 4, 5, 6}); }
+
+TruthTable example(int number) {
+  switch (number) {
+    case 1:
+      return table_of({1, 0, 3, 2, 5, 7, 4, 6});
+    case 2:  // wraparound shift right by one, three variables
+      return table_of({7, 0, 1, 2, 3, 4, 5, 6});
+    case 3:  // Fredkin gate via Toffoli gates
+      return table_of({0, 1, 2, 3, 4, 6, 5, 7});
+    case 4:  // swap of rows 3 and 4
+      return table_of({0, 1, 2, 4, 3, 5, 6, 7});
+    case 5:  // Example 4 extended to four variables (swap rows 7 and 8)
+      return table_of(
+          {0, 1, 2, 3, 4, 5, 6, 8, 7, 9, 10, 11, 12, 13, 14, 15});
+    case 6: {  // wraparound shift left by one, three variables
+      return table_of({1, 2, 3, 4, 5, 6, 7, 0});
+    }
+    case 7: {  // wraparound shift left by one, four variables
+      std::vector<std::uint64_t> image(16);
+      for (std::uint64_t x = 0; x < 16; ++x) image[x] = (x + 1) % 16;
+      return table_of(std::move(image));
+    }
+    case 8:  // augmented full-adder (Fig. 2 / Fig. 8)
+      return table_of({0, 7, 6, 9, 4, 11, 10, 13, 8, 15, 14, 1, 12, 3, 2, 5});
+    default:
+      throw std::invalid_argument("no such worked example");
+  }
+}
+
+TruthTable rd32() {
+  IrreversibleSpec spec;
+  spec.num_inputs = 3;
+  spec.num_outputs = 2;
+  spec.outputs.resize(8);
+  for (std::uint64_t x = 0; x < 8; ++x) {
+    spec.outputs[x] = static_cast<std::uint64_t>(std::popcount(x));
+  }
+  return embed(spec).table;
+}
+
+TruthTable rd53() {
+  // The paper states rd53 uses the specification of [18] and prints its
+  // 13-gate cascade (Example 9); simulating that cascade recovers the
+  // specification exactly. Lines a..g are 0..6.
+  Circuit c(7);
+  const auto ctl = [](std::initializer_list<int> vars) {
+    Cube cube = kConstOne;
+    for (int v : vars) cube |= cube_of_var(v);
+    return cube;
+  };
+  c.append(Gate(ctl({0, 1}), 5));        // TOF3(a, b; f)
+  c.append(Gate(ctl({1}), 0));           // TOF2(b; a)
+  c.append(Gate(ctl({0, 2}), 5));        // TOF3(a, c; f)
+  c.append(Gate(ctl({2}), 0));           // TOF2(c; a)
+  c.append(Gate(ctl({0, 1, 2, 3}), 6));  // TOF5(a, b, c, d; g)
+  c.append(Gate(ctl({0, 3}), 5));        // TOF3(a, d; f)
+  c.append(Gate(ctl({0}), 3));           // TOF2(a; d)
+  c.append(Gate(ctl({1, 3, 4}), 6));     // TOF4(b, d, e; g)
+  c.append(Gate(ctl({2}), 1));           // TOF2(c; b)
+  c.append(Gate(ctl({3, 4}), 5));        // TOF3(d, e; f)
+  c.append(Gate(ctl({0, 1, 3, 4}), 6));  // TOF5(a, b, d, e; g)
+  c.append(Gate(ctl({1, 2, 3, 4}), 6));  // TOF5(b, c, d, e; g)
+  c.append(Gate(ctl({3}), 4));           // TOF2(d; e)
+  return c.to_truth_table();
+}
+
+TruthTable three_17() { return table_of({7, 1, 4, 3, 0, 2, 6, 5}); }
+
+TruthTable four_49() {
+  return table_of({15, 1, 12, 3, 5, 6, 8, 7, 0, 10, 13, 9, 2, 4, 14, 11});
+}
+
+TruthTable alu() {
+  return table_of({16, 17, 18, 19, 0,  20, 21, 22, 23, 24, 25,
+                   11, 12, 26, 27, 15, 28, 13, 14, 29, 8,  9,
+                   10, 30, 31, 1,  2,  3,  4,  5,  6,  7});
+}
+
+TruthTable decod24() {
+  return table_of({1, 2, 4, 8, 0, 3, 5, 6, 7, 9, 10, 11, 12, 13, 14, 15});
+}
+
+TruthTable xor5() {
+  std::vector<std::uint64_t> image(32);
+  for (std::uint64_t x = 0; x < 32; ++x) {
+    const std::uint64_t parity = std::popcount(x) & 1;
+    image[x] = (x & ~std::uint64_t{1}) | parity;
+  }
+  return table_of(std::move(image));
+}
+
+TruthTable mod5_check(int data_bits) {
+  if (data_bits < 3 || data_bits > 20) {
+    throw std::invalid_argument("data_bits out of range");
+  }
+  const int lines = data_bits + 1;
+  const std::uint64_t flag = std::uint64_t{1} << data_bits;
+  std::vector<std::uint64_t> image(std::uint64_t{1} << lines);
+  for (std::uint64_t x = 0; x < image.size(); ++x) {
+    const std::uint64_t v = x & (flag - 1);
+    image[x] = (v % 5 == 0) ? (x ^ flag) : x;
+  }
+  return table_of(std::move(image));
+}
+
+TruthTable ham3() {
+  // [3,1] repetition code decode bijection: output = (corrected data bit,
+  // syndrome). Syndrome bits s0 = x0^x2, s1 = x1^x2 identify the flipped
+  // position; the all-equal majority value is the data bit.
+  std::vector<std::uint64_t> image(8);
+  for (std::uint64_t x = 0; x < 8; ++x) {
+    const int b0 = static_cast<int>(x & 1);
+    const int b1 = static_cast<int>((x >> 1) & 1);
+    const int b2 = static_cast<int>((x >> 2) & 1);
+    const int s0 = b0 ^ b2;
+    const int s1 = b1 ^ b2;
+    int corrected0 = b0;
+    if (s0 == 1 && s1 == 0) corrected0 ^= 1;  // error at position 0
+    // errors at positions 1/2 leave bit 0 correct already
+    image[x] = static_cast<std::uint64_t>(corrected0 | (s0 << 1) | (s1 << 2));
+  }
+  return table_of(std::move(image));
+}
+
+TruthTable ham7() {
+  // [7,4] Hamming decode bijection: output = (4 corrected data bits,
+  // 3 syndrome bits). Column i of the check matrix is the binary
+  // representation of i+1; data live at positions 2, 4, 5, 6.
+  std::vector<std::uint64_t> image(128);
+  for (std::uint64_t x = 0; x < 128; ++x) {
+    int syndrome = 0;
+    for (int i = 0; i < 7; ++i) {
+      if ((x >> i) & 1) syndrome ^= i + 1;
+    }
+    std::uint64_t corrected = x;
+    if (syndrome != 0) corrected ^= std::uint64_t{1} << (syndrome - 1);
+    const std::uint64_t d0 = (corrected >> 2) & 1;
+    const std::uint64_t d1 = (corrected >> 4) & 1;
+    const std::uint64_t d2 = (corrected >> 5) & 1;
+    const std::uint64_t d3 = (corrected >> 6) & 1;
+    image[x] = d0 | (d1 << 1) | (d2 << 2) | (d3 << 3) |
+               (static_cast<std::uint64_t>(syndrome) << 4);
+  }
+  return table_of(std::move(image));
+}
+
+TruthTable hwb(int num_vars) {
+  if (num_vars < 2 || num_vars > 20) {
+    throw std::invalid_argument("num_vars out of range");
+  }
+  const std::uint64_t size = std::uint64_t{1} << num_vars;
+  const std::uint64_t mask = size - 1;
+  std::vector<std::uint64_t> image(size);
+  for (std::uint64_t x = 0; x < size; ++x) {
+    const int r = std::popcount(x) % num_vars;
+    image[x] = r == 0 ? x : (((x << r) | (x >> (num_vars - r))) & mask);
+  }
+  return table_of(std::move(image));
+}
+
+TruthTable five_one013() {
+  return table_of({16, 17, 18, 3,  19, 4,  5,  20, 21, 6,  7,
+                   22, 8,  23, 24, 9,  25, 10, 11, 26, 12, 27,
+                   28, 13, 14, 29, 30, 15, 31, 0,  1,  2});
+}
+
+TruthTable five_one245() {
+  return embed_predicate(5, [](std::uint64_t x) {
+    const int ones = std::popcount(x);
+    return ones == 2 || ones == 4 || ones == 5;
+  });
+}
+
+TruthTable six_one135() {
+  // Odd count of ones == parity: line 0 accumulates the XOR of all lines.
+  std::vector<std::uint64_t> image(64);
+  for (std::uint64_t x = 0; x < 64; ++x) {
+    const std::uint64_t parity = std::popcount(x) & 1;
+    image[x] = (x & ~std::uint64_t{1}) | parity;
+  }
+  return table_of(std::move(image));
+}
+
+TruthTable six_one0246() {
+  std::vector<std::uint64_t> image(64);
+  for (std::uint64_t x = 0; x < 64; ++x) {
+    const std::uint64_t even = (std::popcount(x) & 1) ^ 1;
+    image[x] = (x & ~std::uint64_t{1}) | even;
+  }
+  return table_of(std::move(image));
+}
+
+TruthTable majority3() {
+  return embed_predicate(3, [](std::uint64_t x) { return std::popcount(x) >= 2; });
+}
+
+TruthTable majority5() {
+  return table_of({0,  1,  2,  3,  4,  5,  6,  27, 7,  8,  9,
+                   28, 10, 29, 30, 31, 11, 12, 13, 16, 14, 17,
+                   18, 19, 15, 20, 21, 22, 23, 24, 25, 26});
+}
+
+TruthTable two_of5() {
+  return embed_predicate(5, [](std::uint64_t x) { return std::popcount(x) == 2; });
+}
+
+TruthTable mod_adder(int bits_per_operand, std::uint64_t modulus) {
+  const int k = bits_per_operand;
+  if (k < 2 || k > 10 || modulus < 2 || modulus > (std::uint64_t{1} << k)) {
+    throw std::invalid_argument("bad mod-adder parameters");
+  }
+  const std::uint64_t reg = std::uint64_t{1} << k;
+  std::vector<std::uint64_t> image(reg * reg);
+  for (std::uint64_t a = 0; a < reg; ++a) {
+    for (std::uint64_t b = 0; b < reg; ++b) {
+      const std::uint64_t x = a | (b << k);
+      // (a, b) -> (a, a+b mod m) on the valid domain, identity elsewhere
+      // to complete the permutation.
+      const std::uint64_t b_out =
+          (a < modulus && b < modulus) ? (a + b) % modulus : b;
+      image[x] = a | (b_out << k);
+    }
+  }
+  return table_of(std::move(image));
+}
+
+TruthTable sym(int num_inputs, int lo, int hi) {
+  if (num_inputs < 2 || num_inputs > 12 || lo > hi) {
+    throw std::invalid_argument("bad symmetric-function parameters");
+  }
+  IrreversibleSpec spec;
+  spec.num_inputs = num_inputs;
+  spec.num_outputs = 1;
+  spec.outputs.resize(std::uint64_t{1} << num_inputs);
+  for (std::uint64_t x = 0; x < spec.outputs.size(); ++x) {
+    const int ones = std::popcount(x);
+    spec.outputs[x] = (ones >= lo && ones <= hi) ? 1 : 0;
+  }
+  return embed(spec).table;
+}
+
+}  // namespace rmrls::suite

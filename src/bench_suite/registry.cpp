@@ -1,0 +1,135 @@
+#include "bench_suite/registry.hpp"
+
+#include <functional>
+#include <stdexcept>
+
+#include "bench_suite/functions.hpp"
+#include "rev/pprm_transform.hpp"
+#include "rev/structural.hpp"
+
+namespace rmrls::suite {
+
+namespace {
+
+struct Entry {
+  BenchmarkInfo info;
+  std::function<TruthTable()> table;  // null for structural-only benchmarks
+  std::function<Pprm()> pprm;         // null -> derived from the table
+};
+
+std::optional<int> none_i() { return std::nullopt; }
+std::optional<long long> none_c() { return std::nullopt; }
+
+const std::vector<Entry>& entries() {
+  static const std::vector<Entry> kEntries = [] {
+    std::vector<Entry> v;
+    const auto add = [&v](std::string name, int lines, int real, int garbage,
+                          SpecSource source, std::optional<int> pg,
+                          std::optional<long long> pc, std::optional<int> bg,
+                          std::optional<long long> bc, bool nct,
+                          std::function<TruthTable()> table,
+                          std::function<Pprm()> pprm = nullptr) {
+      Entry e;
+      e.info = BenchmarkInfo{std::move(name), lines,  real, garbage, source,
+                             pg,              pc,     bg,   bc,      nct};
+      e.table = std::move(table);
+      e.pprm = std::move(pprm);
+      v.push_back(std::move(e));
+    };
+
+    // Table IV rows, in order. (paper gates/cost, best-published gates/cost)
+    // Note: the paper's 2of5 embedding uses 7 lines (5 real + 2 garbage
+    // inputs); our minimal embedding needs only 6 (1 garbage input).
+    add("2of5", 6, 5, 1, SpecSource::kPaperBehaviour, 20, 100, 15, 107, false,
+        [] { return two_of5(); });
+    add("rd32", 4, 3, 1, SpecSource::kPaperBehaviour, 4, 8, 4, 8, true,
+        [] { return rd32(); });
+    add("3_17", 3, 3, 0, SpecSource::kPaperBehaviour, 6, 14, 6, 12, true,
+        [] { return three_17(); });
+    add("4_49", 4, 4, 0, SpecSource::kPaperBehaviour, 13, 61, 16, 58, false,
+        [] { return four_49(); });
+    add("alu", 5, 5, 0, SpecSource::kPaperExplicit, 18, 114, none_i(),
+        none_c(), false, [] { return alu(); });
+    add("rd53", 7, 5, 2, SpecSource::kPaperExplicit, 13, 116, 16, 75, false,
+        [] { return rd53(); });
+    add("xor5", 5, 5, 0, SpecSource::kPaperBehaviour, 4, 4, 4, 4, true,
+        [] { return xor5(); });
+    add("4mod5", 5, 4, 1, SpecSource::kPaperBehaviour, 5, 13, 5, 13, true,
+        [] { return mod5_check(4); });
+    add("5mod5", 6, 5, 1, SpecSource::kPaperBehaviour, 11, 91, 10, 90, false,
+        [] { return mod5_check(5); });
+    add("ham3", 3, 3, 0, SpecSource::kOurDefinition, 5, 9, 5, 7, true,
+        [] { return ham3(); });
+    add("ham7", 7, 7, 0, SpecSource::kOurDefinition, 24, 68, 23, 81, false,
+        [] { return ham7(); });
+    add("hwb4", 4, 4, 0, SpecSource::kPaperBehaviour, 15, 35, 17, 63, true,
+        [] { return hwb(4); });
+    add("decod24", 4, 4, 0, SpecSource::kPaperExplicit, 11, 31, none_i(),
+        none_c(), false, [] { return decod24(); });
+    add("shift10", 12, 12, 0, SpecSource::kPaperBehaviour, 27, 1469, 19, 1198,
+        false, [] { return truth_table_of_pprm(shifter_pprm(10)); },
+        [] { return shifter_pprm(10); });
+    add("shift15", 17, 17, 0, SpecSource::kPaperBehaviour, 30, 3500, none_i(),
+        none_c(), false, nullptr, [] { return shifter_pprm(15); });
+    add("shift28", 30, 30, 0, SpecSource::kPaperBehaviour, 56, 14310,
+        none_i(), none_c(), false, nullptr, [] { return shifter_pprm(28); });
+    add("5one013", 5, 5, 0, SpecSource::kPaperExplicit, 19, 95, none_i(),
+        none_c(), false, [] { return five_one013(); });
+    add("5one245", 5, 5, 0, SpecSource::kPaperBehaviour, 20, 104, none_i(),
+        none_c(), false, [] { return five_one245(); });
+    add("6one135", 6, 6, 0, SpecSource::kPaperBehaviour, 5, 5, none_i(),
+        none_c(), true, [] { return six_one135(); });
+    add("6one0246", 6, 6, 0, SpecSource::kPaperBehaviour, 6, 6, none_i(),
+        none_c(), true, [] { return six_one0246(); });
+    add("majority3", 3, 3, 0, SpecSource::kPaperBehaviour, 4, 16, none_i(),
+        none_c(), true, [] { return majority3(); });
+    add("majority5", 5, 5, 0, SpecSource::kPaperExplicit, 16, 104, none_i(),
+        none_c(), false, [] { return majority5(); });
+    add("graycode6", 6, 6, 0, SpecSource::kPaperBehaviour, 5, 5, 5, 5, false,
+        [] { return truth_table_of_pprm(graycode_pprm(6)); },
+        [] { return graycode_pprm(6); });
+    add("graycode10", 10, 10, 0, SpecSource::kPaperBehaviour, 9, 9, 9, 9,
+        false, [] { return truth_table_of_pprm(graycode_pprm(10)); },
+        [] { return graycode_pprm(10); });
+    add("graycode20", 20, 20, 0, SpecSource::kPaperBehaviour, 19, 19, 19, 19,
+        false, nullptr, [] { return graycode_pprm(20); });
+    add("mod5adder", 6, 6, 0, SpecSource::kPaperBehaviour, 19, 127, 21, 125,
+        false, [] { return mod_adder(3, 5); });
+    add("mod32adder", 10, 10, 0, SpecSource::kPaperBehaviour, 15, 154,
+        none_i(), none_c(), false, [] { return mod_adder(5, 32); });
+    add("mod15adder", 8, 8, 0, SpecSource::kPaperBehaviour, 10, 71, none_i(),
+        none_c(), false, [] { return mod_adder(4, 15); });
+    add("mod64adder", 12, 12, 0, SpecSource::kPaperBehaviour, 26, 333,
+        none_i(), none_c(), false, [] { return mod_adder(6, 64); });
+    return v;
+  }();
+  return kEntries;
+}
+
+}  // namespace
+
+std::vector<std::string> benchmark_names() {
+  std::vector<std::string> names;
+  names.reserve(entries().size());
+  for (const Entry& e : entries()) names.push_back(e.info.name);
+  return names;
+}
+
+Benchmark get_benchmark(std::string_view name) {
+  for (const Entry& e : entries()) {
+    if (e.info.name != name) continue;
+    Benchmark b;
+    b.info = e.info;
+    if (e.table) {
+      TruthTable tt = e.table();
+      b.pprm = e.pprm ? e.pprm() : pprm_of_truth_table(tt);
+      if (tt.num_vars() <= 14) b.table = std::move(tt);
+    } else {
+      b.pprm = e.pprm();
+    }
+    return b;
+  }
+  throw std::invalid_argument("unknown benchmark: " + std::string(name));
+}
+
+}  // namespace rmrls::suite

@@ -1,0 +1,52 @@
+/// \file registry.hpp
+/// \brief Name-indexed registry of the paper's benchmark functions with the
+/// published Table IV reference numbers.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rev/pprm.hpp"
+#include "rev/truth_table.hpp"
+
+namespace rmrls::suite {
+
+/// Where a benchmark's specification comes from (see functions.hpp).
+enum class SpecSource {
+  kPaperExplicit,   ///< permutation printed in the paper
+  kPaperBehaviour,  ///< behaviour defined in the paper / literature
+  kOurDefinition,   ///< natural definition, historical .pla unavailable
+};
+
+struct BenchmarkInfo {
+  std::string name;
+  int lines = 0;
+  int real_inputs = 0;
+  int garbage_inputs = 0;
+  SpecSource source = SpecSource::kPaperBehaviour;
+  /// Table IV "Gates"/"Cost" columns (the paper's own results).
+  std::optional<int> paper_gates;
+  std::optional<long long> paper_cost;
+  /// Table IV "[13]" columns (best published at the time), where given.
+  std::optional<int> best_gates;
+  std::optional<long long> best_cost;
+  /// True when Table IV marks the row with a dagger (NCT-library compare).
+  bool nct_comparison = false;
+};
+
+struct Benchmark {
+  BenchmarkInfo info;
+  Pprm pprm;                        ///< always available
+  std::optional<TruthTable> table;  ///< present when narrow enough (<= 14)
+};
+
+/// All registered benchmark names, in Table IV order.
+[[nodiscard]] std::vector<std::string> benchmark_names();
+
+/// Looks up one benchmark; throws std::invalid_argument for unknown names.
+[[nodiscard]] Benchmark get_benchmark(std::string_view name);
+
+}  // namespace rmrls::suite

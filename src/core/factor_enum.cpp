@@ -1,0 +1,34 @@
+#include "core/factor_enum.hpp"
+
+namespace rmrls {
+
+std::vector<Candidate> enumerate_candidates(const Pprm& p,
+                                            const SynthesisOptions& options,
+                                            const Candidate* skip) {
+  std::vector<Candidate> out;
+  const int n = p.num_vars();
+  for (int t = 0; t < n; ++t) {
+    const CubeList& expansion = p.output(t);
+    const Cube bit = cube_of_var(t);
+    const bool has_solitary = expansion.contains(bit);
+    bool offered_const = false;
+    if (has_solitary || options.allow_relaxed_targets) {
+      for (Cube c : expansion.cubes()) {
+        if (c & bit) continue;  // target cannot also be a control
+        Candidate cand{t, c};
+        cand.additional = !has_solitary || c == kConstOne;
+        if (skip != nullptr && cand == *skip) continue;
+        out.push_back(cand);
+        offered_const |= (c == kConstOne);
+      }
+    }
+    if (options.allow_complement && !offered_const) {
+      Candidate cand{t, kConstOne};
+      cand.additional = true;
+      if (skip == nullptr || !(cand == *skip)) out.push_back(cand);
+    }
+  }
+  return out;
+}
+
+}  // namespace rmrls

@@ -1,0 +1,120 @@
+/// \file options.hpp
+/// \brief Tuning knobs of the RMRLS search (paper, Sections IV-A/D/E).
+
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace rmrls {
+
+/// Options controlling the RMRLS best-first search. Defaults reproduce the
+/// paper's configuration: priority weights (0.3, 0.6, 0.1), both classes of
+/// additional substitutions enabled, and the restart heuristic armed at
+/// ~10000 steps. Wall-clock limits are off by default in favour of the
+/// deterministic node budget (see DESIGN.md).
+struct SynthesisOptions {
+  /// Priority weights of eq. (4): alpha rewards depth (depth-first bias),
+  /// beta rewards terms eliminated, gamma penalizes factor literal count.
+  double alpha = 0.3;
+  double beta = 0.6;
+  double gamma = 0.1;
+
+  /// Additional substitution class 1 (Section IV-D): allow factors from
+  /// out_t even when the solitary term v_t is absent from its expansion.
+  bool allow_relaxed_targets = true;
+
+  /// Additional substitution class 2 (Section IV-D): always allow
+  /// `v_t <- v_t XOR 1`, exempt from the elim > 0 pruning rule.
+  bool allow_complement = true;
+
+  /// Cap on non-reducing substitutions per search path. The paper leaves
+  /// its exemption unbounded, but then eq. (4)'s depth reward lets the
+  /// search dive forever down junk paths; a cap bounds every path's length
+  /// (each step either reduces the term count or consumes budget), so
+  /// dives terminate. -1 means "auto": 1 under the quality-tuned
+  /// kComplement scope, twice the number of variables otherwise (enough
+  /// for pure wire permutations, whose swap chains are entirely
+  /// non-reducing). Ablated in bench/ablation.
+  int exempt_budget = -1;
+
+  /// Forbid a non-reducing substitution from directly following another
+  /// one. Off by default (swap chains need consecutive non-reducing
+  /// steps); available for ablation.
+  bool forbid_exempt_chains = false;
+
+  /// Which substitutions may be applied without reducing the term count
+  /// (within the budget above). kComplement (only `v <- v XOR 1`, closest
+  /// to the paper's text) gives the best circuits; kAdditional widens to
+  /// the Section IV-D classes; kAny is needed for full coverage — some
+  /// functions are provably unreachable under the narrower scopes (see
+  /// DESIGN.md). synthesize() tries kComplement first and falls back to
+  /// kAny on failure.
+  enum class ExemptScope { kComplement, kAdditional, kAny };
+  ExemptScope exempt_scope = ExemptScope::kComplement;
+
+  /// Greedy pruning (Section IV-E): keep only the best `greedy_k`
+  /// substitutions per target variable at each expansion. 0 keeps all
+  /// (the basic algorithm). The paper uses 3-5.
+  int greedy_k = 0;
+
+  /// Restart heuristic (Section IV-E): abandon the search and re-seed from
+  /// the next first-level alternative after this many node expansions
+  /// without improving the best solution. 0 disables restarts.
+  std::uint64_t restart_interval = 10000;
+
+  /// Hard budget on node expansions (priority-queue pops); the
+  /// deterministic analogue of the paper's CPU-time limits. 0 = unlimited.
+  std::uint64_t max_nodes = 200000;
+
+  /// Optional wall-clock limit; zero means none.
+  std::chrono::milliseconds time_limit{0};
+
+  /// Maximum circuit size in gates; deeper nodes are pruned
+  /// (the paper uses 40 for 4-variable and 60 for 5-variable runs).
+  /// 0 = unlimited.
+  int max_gates = 0;
+
+  /// Bound on queued candidates; further pushes are dropped (and counted)
+  /// once the queue is full. Mirrors the paper's memory ceiling.
+  std::size_t max_queue = std::size_t{1} << 20;
+
+  /// Our extension (not in the paper, ablated in bench/ablation): skip
+  /// states whose PPRM hash has been enqueued before. Many substitution
+  /// orders reach the same expansion; without deduplication those copies
+  /// drown the queue on 5-variable functions.
+  bool use_transposition_table = true;
+
+  /// Ablation variant of eq. (4): use cumulative terms eliminated since the
+  /// root divided by depth, instead of the per-stage elimination the
+  /// pseudocode stores.
+  bool cumulative_elim_priority = false;
+
+  /// Stop at the first valid circuit instead of searching for the best one
+  /// within budget (the scalability experiments of Section V-E do this).
+  bool stop_at_first_solution = false;
+
+  /// Our extension (ablated in bench/ablation): after a circuit of size D
+  /// is found, restart the whole search with max_gates = D - 1 on the
+  /// remaining node budget, repeating until a search fails. The tighter cap
+  /// prunes deep junk at creation, which a single run's bestDepth rule
+  /// cannot (the queue is already full of it).
+  bool iterative_refinement = true;
+};
+
+/// Counters describing one synthesis run.
+struct SynthesisStats {
+  std::uint64_t nodes_expanded = 0;   ///< priority-queue pops
+  std::uint64_t children_created = 0; ///< substitutions evaluated
+  std::uint64_t children_pushed = 0;  ///< survived pruning, enqueued
+  std::uint64_t pruned_elim = 0;      ///< failed the elim > 0 rule
+  std::uint64_t pruned_depth = 0;     ///< at/beyond bestDepth - 1
+  std::uint64_t pruned_duplicate = 0; ///< transposition-table hits
+  std::uint64_t dropped_queue_full = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t solutions_found = 0;
+  std::chrono::microseconds elapsed{0};
+};
+
+}  // namespace rmrls

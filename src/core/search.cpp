@@ -1,0 +1,299 @@
+#include "core/search.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+namespace rmrls {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}
+
+Search::Search(Pprm start, SynthesisOptions options)
+    : start_(std::move(start)),
+      options_(options),
+      num_vars_(start_.num_vars()),
+      initial_terms_(start_.term_count()) {}
+
+void Search::push_entry(QueueEntry entry) {
+  if (heap_.size() >= options_.max_queue) {
+    ++stats_.dropped_queue_full;
+    return;
+  }
+  heap_.push_back(std::move(entry));
+  std::push_heap(heap_.begin(), heap_.end(), EntryLess{});
+  ++stats_.children_pushed;
+}
+
+Search::QueueEntry Search::pop_entry() {
+  std::pop_heap(heap_.begin(), heap_.end(), EntryLess{});
+  QueueEntry e = std::move(heap_.back());
+  heap_.pop_back();
+  return e;
+}
+
+double Search::priority_of(int depth, int elim_stage, int elim_total,
+                           Cube factor) const {
+  const double elim = options_.cumulative_elim_priority
+                          ? static_cast<double>(elim_total)
+                          : static_cast<double>(elim_stage);
+  return options_.alpha * depth + options_.beta * elim / depth -
+         options_.gamma * literal_count(factor);
+}
+
+Circuit Search::extract_circuit(std::int32_t leaf) const {
+  // The path root -> leaf lists the substitutions in application order,
+  // which is also gate order: the first substitution is the first gate.
+  std::vector<Gate> reversed;
+  for (std::int32_t n = leaf; n > 0; n = arena_[n].parent) {
+    reversed.push_back(arena_[n].gate);
+  }
+  Circuit c(num_vars_);
+  for (auto it = reversed.rbegin(); it != reversed.rend(); ++it) {
+    c.append(*it);
+  }
+  return c;
+}
+
+bool Search::expand(QueueEntry entry) {
+  // Copy out of the arena: expand() appends to it, invalidating references.
+  const NodeRecord node = arena_[entry.node];
+  const Candidate skip{node.gate.target, node.gate.controls};
+  const bool is_root = node.parent < 0;
+  const std::vector<Candidate> candidates = enumerate_candidates(
+      entry.pprm, options_, is_root ? nullptr : &skip);
+
+  // Children are priced read-only (substitute_delta); only the ones that
+  // survive pruning are materialized, which is the search's hot path.
+  struct ChildEval {
+    Candidate cand;
+    int terms = 0;
+    int elim = 0;
+    double priority = 0.0;
+    bool solved = false;
+  };
+  const int child_depth = node.depth + 1;
+  std::vector<ChildEval> children;
+  children.reserve(candidates.size());
+  for (const Candidate& cand : candidates) {
+    ChildEval ce;
+    ce.cand = cand;
+    const int delta = entry.pprm.substitute_delta(cand.target, cand.factor);
+    ce.terms = entry.terms + delta;
+    ce.elim = -delta;
+    ce.priority = priority_of(child_depth, ce.elim,
+                              initial_terms_ - ce.terms, cand.factor);
+    if (ce.terms == num_vars_) {
+      // Only a system with exactly one term per output can be the
+      // identity; confirm by materializing.
+      Pprm materialized = entry.pprm;
+      materialized.substitute(cand.target, cand.factor);
+      ce.solved = materialized.is_identity();
+    }
+    ++stats_.children_created;
+    children.push_back(ce);
+  }
+
+  // Record solutions first so greedy pruning can never drop one.
+  for (const ChildEval& ce : children) {
+    if (!ce.solved) continue;
+    if (best_depth_ < 0 || child_depth < best_depth_) {
+      arena_.push_back({entry.node, Gate(ce.cand.factor, ce.cand.target),
+                        child_depth, node.exempt_count, false});
+      best_node_ = static_cast<std::int32_t>(arena_.size()) - 1;
+      best_depth_ = child_depth;
+      ++stats_.solutions_found;
+      pops_since_improvement_ = 0;
+      if (options_.stop_at_first_solution) return true;
+    }
+  }
+
+  // Greedy heuristic (Section IV-E): keep only the best k substitutions
+  // per target variable.
+  if (options_.greedy_k > 0) {
+    std::stable_sort(children.begin(), children.end(),
+                     [](const ChildEval& a, const ChildEval& b) {
+                       if (a.cand.target != b.cand.target) {
+                         return a.cand.target < b.cand.target;
+                       }
+                       return a.priority > b.priority;
+                     });
+    std::vector<ChildEval> kept;
+    kept.reserve(children.size());
+    int current_target = -1;
+    int taken = 0;
+    for (ChildEval& ce : children) {
+      if (ce.cand.target != current_target) {
+        current_target = ce.cand.target;
+        taken = 0;
+      }
+      if (ce.solved) continue;  // already handled above
+      if (taken < options_.greedy_k) {
+        kept.push_back(std::move(ce));
+        ++taken;
+      }
+    }
+    children = std::move(kept);
+  }
+
+  const bool narrow_scope =
+      options_.exempt_scope == SynthesisOptions::ExemptScope::kComplement;
+  const int exempt_budget =
+      options_.exempt_budget >= 0 ? options_.exempt_budget
+      : narrow_scope              ? 1
+                                  : 2 * num_vars_;
+  for (ChildEval& ce : children) {
+    if (ce.solved) continue;
+    // Non-reducing substitutions are tolerated up to the per-path budget
+    // (strict monotone pruning provably disconnects e.g. wire
+    // permutations from the identity); see DESIGN.md.
+    const bool exempt = ce.elim <= 0;
+    bool exempt_allowed = false;
+    switch (options_.exempt_scope) {
+      case SynthesisOptions::ExemptScope::kComplement:
+        exempt_allowed = ce.cand.is_complement();
+        break;
+      case SynthesisOptions::ExemptScope::kAdditional:
+        exempt_allowed = ce.cand.additional;
+        break;
+      case SynthesisOptions::ExemptScope::kAny:
+        exempt_allowed = true;
+        break;
+    }
+    if (exempt && (!exempt_allowed ||
+                   (node.exempt && options_.forbid_exempt_chains) ||
+                   node.exempt_count >= exempt_budget)) {
+      ++stats_.pruned_elim;
+      continue;
+    }
+    if (best_depth_ >= 0 && child_depth >= best_depth_ - 1) {
+      ++stats_.pruned_depth;
+      continue;
+    }
+    if (options_.max_gates > 0 && child_depth >= options_.max_gates) {
+      ++stats_.pruned_depth;
+      continue;
+    }
+    // Materialize only now: everything pruned above never paid for a copy.
+    Pprm materialized = entry.pprm;
+    materialized.substitute(ce.cand.target, ce.cand.factor);
+    if (options_.use_transposition_table) {
+      const auto [it, inserted] =
+          seen_.try_emplace(materialized.hash(), child_depth);
+      if (!inserted) {
+        if (it->second <= child_depth) {
+          ++stats_.pruned_duplicate;
+          continue;
+        }
+        it->second = child_depth;
+      }
+    }
+    arena_.push_back(
+        {entry.node, Gate(ce.cand.factor, ce.cand.target), child_depth,
+         static_cast<std::uint8_t>(node.exempt_count + (exempt ? 1 : 0)),
+         exempt});
+    QueueEntry child;
+    child.priority = ce.priority;
+    child.seq = next_seq_++;
+    child.node = static_cast<std::int32_t>(arena_.size()) - 1;
+    child.terms = ce.terms;
+    child.pprm = std::move(materialized);
+    if (is_root) root_children_.push_back(child);  // copy kept for restarts
+    push_entry(std::move(child));
+  }
+  return false;
+}
+
+void Search::restart() {
+  ++stats_.restarts;
+  pops_since_improvement_ = 0;
+  heap_.clear();
+  ++restart_index_;
+  // Re-seed with the remaining first-level alternatives, skipping the
+  // leaders already pursued (paper, Section IV-E: "restart the search from
+  // the top of the search tree with a different substitution").
+  std::vector<QueueEntry> seeds(root_children_.begin(), root_children_.end());
+  std::stable_sort(seeds.begin(), seeds.end(), [](const QueueEntry& a,
+                                                  const QueueEntry& b) {
+    return EntryLess{}(b, a);  // descending priority
+  });
+  for (std::size_t i = restart_index_; i < seeds.size(); ++i) {
+    push_entry(seeds[i]);
+  }
+}
+
+SynthesisResult Search::run() {
+  SynthesisResult result;
+  result.initial_terms = initial_terms_;
+  const auto start_time = Clock::now();
+  const auto deadline =
+      options_.time_limit.count() > 0
+          ? start_time + options_.time_limit
+          : Clock::time_point::max();
+
+  if (start_.is_identity()) {
+    result.success = true;
+    result.circuit = Circuit(num_vars_);
+    result.stats.elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        Clock::now() - start_time);
+    return result;
+  }
+
+  arena_.push_back({-1, Gate(), 0, 0, false});
+  QueueEntry root;
+  root.priority = std::numeric_limits<double>::infinity();
+  root.seq = next_seq_++;
+  root.node = 0;
+  root.terms = initial_terms_;
+  root.pprm = start_;
+  push_entry(std::move(root));
+  stats_.children_pushed = 0;  // the root is not a child
+
+  while (!heap_.empty()) {
+    if (options_.max_nodes > 0 && stats_.nodes_expanded >= options_.max_nodes) {
+      break;
+    }
+    if ((stats_.nodes_expanded & 0x3f) == 0 && Clock::now() >= deadline) {
+      break;
+    }
+    // The restart heuristic (Section IV-E) fires only while no solution
+    // has been found at all: once one exists, best-first refinement under
+    // the bestDepth - 1 pruning rule takes over.
+    if (options_.restart_interval > 0 && best_depth_ < 0 &&
+        !root_children_.empty() &&
+        pops_since_improvement_ >= options_.restart_interval) {
+      if (restart_index_ + 1 >= root_children_.size()) break;
+      restart();
+      if (heap_.empty()) break;
+    }
+
+    QueueEntry entry = pop_entry();
+    ++stats_.nodes_expanded;
+    ++pops_since_improvement_;
+
+    const int depth = arena_[entry.node].depth;
+    if (best_depth_ >= 0 && depth >= best_depth_ - 1) {
+      ++stats_.pruned_depth;
+      continue;
+    }
+    if (options_.max_gates > 0 && depth >= options_.max_gates) {
+      ++stats_.pruned_depth;
+      continue;
+    }
+    if (expand(std::move(entry))) break;  // stop-at-first fired
+  }
+
+  stats_.elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      Clock::now() - start_time);
+  result.stats = stats_;
+  if (best_node_ >= 0) {
+    result.success = true;
+    result.circuit = extract_circuit(best_node_);
+  } else {
+    result.circuit = Circuit(num_vars_);
+  }
+  return result;
+}
+
+}  // namespace rmrls

@@ -1,0 +1,109 @@
+/// \file search.hpp
+/// \brief The RMRLS priority-based search tree (paper, Fig. 4).
+///
+/// Internal engine behind synthesizer.hpp. The search explores sequences of
+/// PPRM substitutions; a node is a partial cascade, a solution is a node
+/// whose system is the identity. Per Section IV-C, expansions are stored
+/// only with frontier (queued) entries; the node arena keeps just
+/// {parent, gate, depth} so solution paths can be reconstructed cheaply.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/factor_enum.hpp"
+#include "core/options.hpp"
+#include "rev/circuit.hpp"
+#include "rev/pprm.hpp"
+
+namespace rmrls {
+
+/// Outcome of one synthesis run.
+struct SynthesisResult {
+  bool success = false;
+  Circuit circuit;  ///< empty (zero-gate) circuit when `!success`
+  int initial_terms = 0;
+  SynthesisStats stats;
+};
+
+/// One run of the best-first search. Not reusable; construct per call.
+class Search {
+ public:
+  Search(Pprm start, SynthesisOptions options);
+
+  /// Runs to completion (queue empty, budget exhausted, or first solution
+  /// in stop-at-first mode) and returns the best circuit found.
+  [[nodiscard]] SynthesisResult run();
+
+ private:
+  struct NodeRecord {
+    std::int32_t parent = -1;
+    Gate gate;
+    std::int32_t depth = 0;
+    /// Number of non-reducing (elim <= 0) complement substitutions on the
+    /// path from the root, and whether this node itself was created by
+    /// one. Eq. (4) rewards depth, so an unbounded supply of exempt
+    /// substitutions would let the search dive forever down junk paths;
+    /// we forbid chaining them and cap their count per path
+    /// (SynthesisOptions::exempt_budget). See DESIGN.md.
+    std::uint8_t exempt_count = 0;
+    bool exempt = false;
+  };
+
+  struct QueueEntry {
+    double priority = 0.0;
+    std::uint64_t seq = 0;  // insertion order; older wins priority ties
+    std::int32_t node = -1;
+    std::int32_t terms = 0;
+    Pprm pprm;
+  };
+
+  struct EntryLess {
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+      if (a.priority != b.priority) return a.priority < b.priority;
+      return a.seq > b.seq;
+    }
+  };
+
+  void push_entry(QueueEntry entry);
+  [[nodiscard]] QueueEntry pop_entry();
+
+  /// Expands `entry`: evaluates every candidate substitution, records
+  /// solutions, and enqueues surviving children. Returns true if the
+  /// stop-at-first-solution condition fired.
+  bool expand(QueueEntry entry);
+
+  void restart();
+
+  [[nodiscard]] double priority_of(int depth, int elim_stage, int elim_total,
+                                   Cube factor) const;
+
+  [[nodiscard]] Circuit extract_circuit(std::int32_t leaf) const;
+
+  Pprm start_;
+  SynthesisOptions options_;
+  int num_vars_ = 0;
+  int initial_terms_ = 0;
+
+  std::vector<NodeRecord> arena_;
+  std::vector<QueueEntry> heap_;  // std::push_heap/pop_heap with EntryLess
+  std::uint64_t next_seq_ = 0;
+
+  std::vector<QueueEntry> root_children_;  // saved for the restart heuristic
+  std::size_t restart_index_ = 0;
+  std::uint64_t pops_since_improvement_ = 0;
+
+  std::int32_t best_node_ = -1;
+  int best_depth_ = -1;
+
+  /// Transposition table: best depth at which each PPRM hash was enqueued.
+  /// A state reached again at the same or a larger depth is redundant, but
+  /// a shallower rediscovery must be re-expanded or optimality suffers.
+  std::unordered_map<std::size_t, std::int32_t> seen_;
+
+  SynthesisStats stats_;
+};
+
+}  // namespace rmrls

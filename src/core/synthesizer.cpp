@@ -1,0 +1,141 @@
+#include "core/synthesizer.hpp"
+
+#include <algorithm>
+#include <random>
+
+#include "rev/pprm_transform.hpp"
+#include "rev/quantum_cost.hpp"
+
+namespace rmrls {
+
+namespace {
+
+void accumulate(SynthesisStats& into, const SynthesisStats& from) {
+  into.nodes_expanded += from.nodes_expanded;
+  into.children_created += from.children_created;
+  into.children_pushed += from.children_pushed;
+  into.pruned_elim += from.pruned_elim;
+  into.pruned_depth += from.pruned_depth;
+  into.pruned_duplicate += from.pruned_duplicate;
+  into.dropped_queue_full += from.dropped_queue_full;
+  into.restarts += from.restarts;
+  into.solutions_found += from.solutions_found;
+  into.elapsed += from.elapsed;
+}
+
+}  // namespace
+
+SynthesisResult synthesize(const Pprm& spec, const SynthesisOptions& options) {
+  const bool refine =
+      options.iterative_refinement && !options.stop_at_first_solution;
+  SynthesisOptions first = options;
+  if (refine && options.max_nodes > 0) {
+    first.max_nodes = std::max<std::uint64_t>(options.max_nodes / 2, 1);
+  }
+  SynthesisResult result = Search(spec, first).run();
+  if (!refine) return result;
+  SynthesisOptions scope = options;  // options for the refinement reruns
+  if (!result.success) {
+    // The scouting run found nothing: spend the rest of the budget on one
+    // attempt with the broad exemption scope, which reaches functions the
+    // quality-tuned scope provably cannot.
+    if (options.max_nodes == 0 ||
+        result.stats.nodes_expanded >= options.max_nodes) {
+      return result;
+    }
+    SynthesisOptions rest = options;
+    rest.max_nodes = options.max_nodes - result.stats.nodes_expanded;
+    rest.iterative_refinement = false;
+    rest.exempt_scope = SynthesisOptions::ExemptScope::kAny;
+    SynthesisResult retry = Search(spec, rest).run();
+    accumulate(retry.stats, result.stats);
+    if (!retry.success) return retry;
+    result = std::move(retry);
+    scope.exempt_scope = SynthesisOptions::ExemptScope::kAny;
+  }
+  // Iterative tightening: rerun with a cap one below the best size so far;
+  // each rerun spends what is left of the node budget.
+  while (result.circuit.gate_count() > 1) {
+    SynthesisOptions tighter = scope;
+    if (options.max_nodes > 0) {
+      if (result.stats.nodes_expanded >= options.max_nodes) break;
+      tighter.max_nodes = options.max_nodes - result.stats.nodes_expanded;
+    }
+    tighter.max_gates = result.circuit.gate_count() - 1;
+    tighter.iterative_refinement = false;
+    SynthesisResult next = Search(spec, tighter).run();
+    accumulate(result.stats, next.stats);
+    if (!next.success) break;
+    result.circuit = std::move(next.circuit);
+  }
+  return result;
+}
+
+SynthesisResult synthesize(const TruthTable& spec,
+                           const SynthesisOptions& options) {
+  return synthesize(pprm_of_truth_table(spec), options);
+}
+
+SynthesisResult synthesize_bidirectional(const TruthTable& spec,
+                                         const SynthesisOptions& options) {
+  SynthesisOptions half = options;
+  if (options.max_nodes > 0) {
+    half.max_nodes = std::max<std::uint64_t>(options.max_nodes / 2, 1);
+  }
+  SynthesisResult forward = synthesize(spec, half);
+  SynthesisOptions rest = options;
+  if (options.max_nodes > 0) {
+    const std::uint64_t spent = forward.stats.nodes_expanded;
+    if (spent >= options.max_nodes) return forward;
+    rest.max_nodes = options.max_nodes - spent;
+  }
+  SynthesisResult backward = synthesize(spec.inverse(), rest);
+  accumulate(forward.stats, backward.stats);
+  if (!backward.success) return forward;
+  Circuit mirrored = backward.circuit.inverse();
+  const bool backward_wins =
+      !forward.success ||
+      mirrored.gate_count() < forward.circuit.gate_count() ||
+      (mirrored.gate_count() == forward.circuit.gate_count() &&
+       quantum_cost(mirrored) < quantum_cost(forward.circuit));
+  if (backward_wins) {
+    forward.success = true;
+    forward.circuit = std::move(mirrored);
+    forward.initial_terms = backward.initial_terms;
+  }
+  return forward;
+}
+
+bool implements(const Circuit& circuit, const TruthTable& spec) {
+  if (circuit.num_lines() != spec.num_vars()) return false;
+  for (std::uint64_t x = 0; x < spec.size(); ++x) {
+    if (circuit.simulate(x) != spec.apply(x)) return false;
+  }
+  return true;
+}
+
+bool implements(const Circuit& circuit, const Pprm& spec, int samples) {
+  const int n = spec.num_vars();
+  if (circuit.num_lines() != n) return false;
+  if (n <= 16) {
+    for (std::uint64_t x = 0; x < (std::uint64_t{1} << n); ++x) {
+      if (circuit.simulate(x) != spec.eval(x)) return false;
+    }
+    return true;
+  }
+  const std::uint64_t mask =
+      n == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+  // Deterministic sampling: low corner points catch constant-offset bugs,
+  // the seeded uniform draws catch everything else with high probability.
+  for (std::uint64_t x = 0; x < 256; ++x) {
+    if (circuit.simulate(x) != spec.eval(x)) return false;
+  }
+  std::mt19937_64 rng(0x524d524c53ull);  // "RMRLS"
+  for (int i = 0; i < samples; ++i) {
+    const std::uint64_t x = rng() & mask;
+    if (circuit.simulate(x) != spec.eval(x)) return false;
+  }
+  return true;
+}
+
+}  // namespace rmrls

@@ -1,0 +1,103 @@
+#include "esop/esop.hpp"
+
+#include <bit>
+#include <sstream>
+#include <stdexcept>
+
+namespace rmrls {
+
+LiteralCube::LiteralCube(Cube care_in, Cube polarity_in)
+    : care(care_in), polarity(polarity_in) {
+  if (polarity & ~care) {
+    throw std::invalid_argument("polarity bit set outside the care set");
+  }
+}
+
+int LiteralCube::distance(const LiteralCube& other) const {
+  // Variables present in one cube only, plus shared variables whose
+  // polarities disagree.
+  const Cube shared = care & other.care;
+  const Cube only = care ^ other.care;
+  return std::popcount(only) +
+         std::popcount((polarity ^ other.polarity) & shared);
+}
+
+std::string LiteralCube::to_string(int num_vars) const {
+  if (care == 0) return "1";
+  std::string out;
+  for (int v = 0; v < num_vars; ++v) {
+    if (!cube_has_var(care, v)) continue;
+    out += cube_to_string(cube_of_var(v), num_vars);
+    if (!cube_has_var(polarity, v)) out.push_back('\'');
+  }
+  return out;
+}
+
+Esop::Esop(int num_vars, std::vector<LiteralCube> cubes)
+    : cubes_(std::move(cubes)), num_vars_(num_vars) {
+  if (num_vars < 0 || num_vars > kMaxVariables) {
+    throw std::invalid_argument("num_vars out of range");
+  }
+  const Cube mask = num_vars == kMaxVariables
+                        ? ~Cube{0}
+                        : (Cube{1} << num_vars) - 1;
+  for (const LiteralCube& c : cubes_) {
+    if (c.care & ~mask) {
+      throw std::invalid_argument("cube uses a variable out of range");
+    }
+  }
+}
+
+int Esop::literal_total() const {
+  int n = 0;
+  for (const LiteralCube& c : cubes_) n += c.literal_count();
+  return n;
+}
+
+bool Esop::eval(std::uint64_t x) const {
+  bool acc = false;
+  for (const LiteralCube& c : cubes_) acc ^= c.eval(x);
+  return acc;
+}
+
+CubeList Esop::to_pprm() const {
+  std::vector<Cube> expanded;
+  for (const LiteralCube& c : cubes_) {
+    const Cube neg = c.care & ~c.polarity;
+    if (std::popcount(neg) > 24) {
+      throw std::invalid_argument("cube expansion too large");
+    }
+    // Product of (1 XOR v) over complemented variables expands to the XOR
+    // over all subsets of those variables.
+    for (Cube s = neg;; s = (s - 1) & neg) {
+      expanded.push_back(c.polarity | s);
+      if (s == 0) break;
+    }
+  }
+  return CubeList(std::move(expanded));
+}
+
+Esop Esop::from_truth_vector(const std::vector<std::uint8_t>& f) {
+  if (f.empty() || !std::has_single_bit(f.size())) {
+    throw std::invalid_argument("truth vector size must be a power of two");
+  }
+  const int n = std::countr_zero(f.size());
+  const Cube mask = (Cube{1} << n) - 1;
+  std::vector<LiteralCube> cubes;
+  for (std::size_t x = 0; x < f.size(); ++x) {
+    if (f[x] & 1) cubes.emplace_back(mask, static_cast<Cube>(x));
+  }
+  return Esop(n, std::move(cubes));
+}
+
+std::string Esop::to_string() const {
+  if (cubes_.empty()) return "0";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < cubes_.size(); ++i) {
+    if (i != 0) os << " + ";
+    os << cubes_[i].to_string(num_vars_);
+  }
+  return os.str();
+}
+
+}  // namespace rmrls

@@ -1,0 +1,83 @@
+/// \file esop.hpp
+/// \brief EXOR sum-of-products (ESOP) expressions with literal cubes.
+///
+/// Section II-E of the paper: specifications are first brought into ESOP
+/// form (the authors used EXORCISM-4), then expanded into PPRM form by the
+/// substitution `~a = a XOR 1` with cancellation of duplicate products.
+/// This module provides the ESOP representation, the exact expansion to
+/// PPRM, evaluation, and conversion from truth vectors; minimize.hpp adds
+/// the heuristic minimizer standing in for EXORCISM-4.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rev/cube.hpp"
+#include "rev/pprm.hpp"
+
+namespace rmrls {
+
+/// A product of literals, each positive or negative: variable v appears
+/// iff bit v of `care` is set; its polarity is bit v of `polarity`
+/// (1 = positive). Invariant: polarity is a subset of care.
+struct LiteralCube {
+  Cube care = 0;
+  Cube polarity = 0;
+
+  LiteralCube() = default;
+  LiteralCube(Cube care_in, Cube polarity_in);
+
+  [[nodiscard]] int literal_count() const { return std::popcount(care); }
+
+  /// Evaluate at assignment `x`.
+  [[nodiscard]] bool eval(std::uint64_t x) const {
+    return (x & care) == polarity;
+  }
+
+  /// Number of variables on which the two cubes disagree: differing
+  /// polarity on a shared variable, or presence in exactly one cube.
+  [[nodiscard]] int distance(const LiteralCube& other) const;
+
+  /// Renders as e.g. "ab'c" (prime = complemented).
+  [[nodiscard]] std::string to_string(int num_vars = kMaxVariables) const;
+
+  friend bool operator==(const LiteralCube&, const LiteralCube&) = default;
+  friend auto operator<=>(const LiteralCube&, const LiteralCube&) = default;
+};
+
+/// An ESOP expression: the XOR of its cubes.
+class Esop {
+ public:
+  Esop() = default;
+  Esop(int num_vars, std::vector<LiteralCube> cubes);
+
+  [[nodiscard]] int num_vars() const { return num_vars_; }
+  [[nodiscard]] const std::vector<LiteralCube>& cubes() const {
+    return cubes_;
+  }
+  [[nodiscard]] int size() const { return static_cast<int>(cubes_.size()); }
+  [[nodiscard]] int literal_total() const;
+
+  [[nodiscard]] bool eval(std::uint64_t x) const;
+
+  /// Exact PPRM of the expression: expand every complemented literal via
+  /// `~a = a XOR 1` and cancel duplicate products (paper, Section II-E).
+  [[nodiscard]] CubeList to_pprm() const;
+
+  /// The minterm ESOP of a truth vector (one cube per ON-set row) — the
+  /// trivial starting point for minimization.
+  [[nodiscard]] static Esop from_truth_vector(
+      const std::vector<std::uint8_t>& f);
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend class EsopMinimizer;
+
+ private:
+  std::vector<LiteralCube> cubes_;
+  int num_vars_ = 0;
+};
+
+}  // namespace rmrls

@@ -1,0 +1,178 @@
+#include "esop/minimize.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <optional>
+
+namespace rmrls {
+
+namespace {
+
+/// Classification of one differing variable between two cubes.
+struct Diff {
+  int var = 0;
+  bool polarity_conflict = false;  // in both cubes, opposite polarity
+  bool in_first = false;           // existence diff: present in `a` only
+};
+
+std::vector<Diff> diff_positions(const LiteralCube& a, const LiteralCube& b) {
+  std::vector<Diff> out;
+  const Cube shared = a.care & b.care;
+  Cube conflict = (a.polarity ^ b.polarity) & shared;
+  Cube only = a.care ^ b.care;
+  while (conflict) {
+    const int v = std::countr_zero(conflict);
+    conflict &= conflict - 1;
+    out.push_back({v, true, false});
+  }
+  while (only) {
+    const int v = std::countr_zero(only);
+    only &= only - 1;
+    out.push_back({v, false, cube_has_var(a.care, v)});
+  }
+  return out;
+}
+
+LiteralCube without_var(const LiteralCube& c, int v) {
+  const Cube bit = cube_of_var(v);
+  return LiteralCube(c.care & ~bit, c.polarity & ~bit);
+}
+
+LiteralCube with_literal(const LiteralCube& c, int v, bool positive) {
+  const Cube bit = cube_of_var(v);
+  return LiteralCube(c.care | bit,
+                     positive ? (c.polarity | bit) : (c.polarity & ~bit));
+}
+
+bool literal_positive(const LiteralCube& c, int v) {
+  return cube_has_var(c.polarity, v);
+}
+
+/// Distance-1 merge: always possible, always shrinks by one cube.
+LiteralCube merge_distance1(const LiteralCube& a, const LiteralCube& b,
+                            const Diff& d) {
+  if (d.polarity_conflict) return without_var(a, d.var);  // R v + R ~v = R
+  // R v^p + R = R v^(1-p)
+  const LiteralCube& has = d.in_first ? a : b;
+  return with_literal(without_var(has, d.var), d.var,
+                      !literal_positive(has, d.var));
+}
+
+/// Distance-2 rewrite into an equivalent pair; empty when no literal-count
+/// improvement exists for this case.
+std::optional<std::pair<LiteralCube, LiteralCube>> rewrite_distance2(
+    const LiteralCube& a, const LiteralCube& b, const Diff& d0,
+    const Diff& d1) {
+  // Normalize: R is the common remainder after removing both positions.
+  const auto strip = [&](const LiteralCube& c) {
+    return without_var(without_var(c, d0.var), d1.var);
+  };
+  const LiteralCube r = strip(a);
+
+  if (d0.polarity_conflict && d1.polarity_conflict) {
+    // R v w + R ~v ~w = R ~v + R w  (saves two literals)
+    const bool av = literal_positive(a, d0.var);
+    const bool aw = literal_positive(a, d1.var);
+    return std::make_pair(with_literal(r, d0.var, !av),
+                          with_literal(r, d1.var, aw));
+  }
+  if (d0.polarity_conflict != d1.polarity_conflict) {
+    // One polarity conflict (on v), one existence diff (on w).
+    const Diff& pol = d0.polarity_conflict ? d0 : d1;
+    const Diff& exi = d0.polarity_conflict ? d1 : d0;
+    // Let `full` be the cube containing w: full = R v^p w^q, other = R v^~p.
+    const LiteralCube& full = exi.in_first ? a : b;
+    const bool p = literal_positive(full, pol.var);
+    const bool q = literal_positive(full, exi.var);
+    // R v^p w^q + R v^~p = R v^p w^~q + R  (saves one literal)
+    return std::make_pair(
+        with_literal(with_literal(r, pol.var, p), exi.var, !q), r);
+  }
+  // Both existence diffs: only profitable when both extra literals sit in
+  // the same cube: R v^p w^q + R = R v^~p + R v^p w^~q (no literal saving;
+  // skipped — it never reduces count by itself).
+  return std::nullopt;
+}
+
+int total_literals(const std::vector<LiteralCube>& cubes) {
+  int n = 0;
+  for (const LiteralCube& c : cubes) n += c.literal_count();
+  return n;
+}
+
+/// One sweep of distance-0 cancellation and distance-1 merging.
+/// Returns true if anything changed.
+bool merge_pass(std::vector<LiteralCube>& cubes) {
+  bool changed = false;
+  for (std::size_t i = 0; i < cubes.size(); ++i) {
+    for (std::size_t j = i + 1; j < cubes.size();) {
+      const int d = cubes[i].distance(cubes[j]);
+      if (d == 0) {
+        cubes.erase(cubes.begin() + static_cast<std::ptrdiff_t>(j));
+        cubes.erase(cubes.begin() + static_cast<std::ptrdiff_t>(i));
+        changed = true;
+        j = i + 1;
+        if (i >= cubes.size()) break;
+        continue;
+      }
+      if (d == 1) {
+        const auto diffs = diff_positions(cubes[i], cubes[j]);
+        cubes[i] = merge_distance1(cubes[i], cubes[j], diffs[0]);
+        cubes.erase(cubes.begin() + static_cast<std::ptrdiff_t>(j));
+        changed = true;
+        j = i + 1;
+        continue;
+      }
+      ++j;
+    }
+  }
+  return changed;
+}
+
+/// One sweep of literal-reducing distance-2 rewrites.
+bool rewrite_pass(std::vector<LiteralCube>& cubes) {
+  bool changed = false;
+  for (std::size_t i = 0; i < cubes.size(); ++i) {
+    for (std::size_t j = i + 1; j < cubes.size(); ++j) {
+      if (cubes[i].distance(cubes[j]) != 2) continue;
+      const auto diffs = diff_positions(cubes[i], cubes[j]);
+      const auto rewritten =
+          rewrite_distance2(cubes[i], cubes[j], diffs[0], diffs[1]);
+      if (!rewritten) continue;
+      const int before =
+          cubes[i].literal_count() + cubes[j].literal_count();
+      const int after = rewritten->first.literal_count() +
+                        rewritten->second.literal_count();
+      if (after < before) {
+        cubes[i] = rewritten->first;
+        cubes[j] = rewritten->second;
+        changed = true;
+      }
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+EsopMinimizeResult minimize_esop(const Esop& e,
+                                 const EsopMinimizeOptions& options) {
+  std::vector<LiteralCube> cubes = e.cubes();
+  EsopMinimizeResult result;
+  result.initial_cubes = static_cast<int>(cubes.size());
+  int pass = 0;
+  for (; pass < options.max_passes; ++pass) {
+    const bool merged = merge_pass(cubes);
+    const bool rewritten = rewrite_pass(cubes);
+    if (!merged && !rewritten) break;
+  }
+  // Guard against oscillating rewrites: literal counts only ever decrease,
+  // so termination is guaranteed, but report the pass count regardless.
+  (void)total_literals(cubes);
+  result.passes = pass;
+  result.final_cubes = static_cast<int>(cubes.size());
+  result.esop = Esop(e.num_vars(), std::move(cubes));
+  return result;
+}
+
+}  // namespace rmrls

@@ -1,0 +1,40 @@
+/// \file minimize.hpp
+/// \brief Heuristic ESOP minimization ("exorcism-lite").
+///
+/// Stand-in for EXORCISM-4 [15] (see DESIGN.md, substitution table). The
+/// minimizer starts from any ESOP (typically the minterm form) and applies
+/// GF(2) cube-pair rewrites until a fixpoint:
+///
+///   distance 0:  A XOR A            -> 0            (pair deleted)
+///   distance 1:  R v XOR R ~v       -> R            (polarity conflict)
+///                R v XOR R          -> R ~v         (existence)
+///   distance 2:  R v w XOR R ~v ~w  -> R ~v XOR R w (both polarities)
+///                R v w XOR R ~v     -> R v ~w XOR R (polarity+existence)
+///                R v w XOR R        -> R ~v XOR R v ~w (both existence)
+///
+/// Distance-2 rewrites are accepted only when they reduce the literal count
+/// or unlock a distance<=1 merge on the next pass. Functional equivalence of
+/// every rewrite is exercised by the property tests.
+
+#pragma once
+
+#include "esop/esop.hpp"
+
+namespace rmrls {
+
+struct EsopMinimizeOptions {
+  int max_passes = 32;  ///< hard cap on full rewrite sweeps
+};
+
+struct EsopMinimizeResult {
+  Esop esop;
+  int initial_cubes = 0;
+  int final_cubes = 0;
+  int passes = 0;
+};
+
+/// Minimizes `e` heuristically; the result is functionally equivalent.
+[[nodiscard]] EsopMinimizeResult minimize_esop(
+    const Esop& e, const EsopMinimizeOptions& options = {});
+
+}  // namespace rmrls

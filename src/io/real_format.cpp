@@ -1,0 +1,169 @@
+#include "io/real_format.hpp"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace rmrls {
+
+namespace {
+
+std::string line_name(int v, int num_lines) {
+  if (num_lines <= 26) return std::string(1, static_cast<char>('a' + v));
+  return "x" + std::to_string(v);
+}
+
+[[noreturn]] void fail(int line_no, const std::string& what) {
+  throw std::invalid_argument(".real line " + std::to_string(line_no) +
+                              ": " + what);
+}
+
+}  // namespace
+
+std::string write_real(const RealCircuit& rc) {
+  const int n = rc.circuit.num_lines();
+  if (!rc.constants.empty() && static_cast<int>(rc.constants.size()) != n) {
+    throw std::invalid_argument(".constants width mismatch");
+  }
+  if (!rc.garbage.empty() && static_cast<int>(rc.garbage.size()) != n) {
+    throw std::invalid_argument(".garbage width mismatch");
+  }
+  std::ostringstream os;
+  os << ".version 2.0\n.numvars " << n << "\n.variables";
+  for (int v = 0; v < n; ++v) os << " " << line_name(v, n);
+  os << "\n";
+  if (!rc.constants.empty()) os << ".constants " << rc.constants << "\n";
+  if (!rc.garbage.empty()) os << ".garbage " << rc.garbage << "\n";
+  os << ".begin\n";
+  for (const MixedGate& g : rc.circuit.gates()) {
+    os << (g.kind == MixedGate::Kind::kFredkin ? "f" : "t") << g.size();
+    for (int v = 0; v < n; ++v) {
+      if (cube_has_var(g.controls, v)) os << " " << line_name(v, n);
+    }
+    os << " " << line_name(g.a, n);
+    if (g.kind == MixedGate::Kind::kFredkin) os << " " << line_name(g.b, n);
+    os << "\n";
+  }
+  os << ".end\n";
+  return os.str();
+}
+
+std::string write_real(const MixedCircuit& c) {
+  RealCircuit rc;
+  rc.circuit = c;
+  return write_real(rc);
+}
+
+RealCircuit read_real(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  std::map<std::string, int> line_index;
+  int declared_vars = -1;
+  RealCircuit rc;
+  bool in_body = false;
+  bool done = false;
+  std::vector<MixedGate> gates;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto comment = line.find('#');
+    if (comment != std::string::npos) line.resize(comment);
+    std::istringstream ls(line);
+    std::string head;
+    if (!(ls >> head)) continue;
+    if (done) fail(line_no, "content after .end");
+    if (head == ".version") continue;
+    if (head == ".numvars") {
+      if (!(ls >> declared_vars) || declared_vars < 1 ||
+          declared_vars > kMaxVariables) {
+        fail(line_no, "bad .numvars");
+      }
+      continue;
+    }
+    if (head == ".variables") {
+      std::string name;
+      while (ls >> name) {
+        if (line_index.count(name)) fail(line_no, "duplicate line " + name);
+        const int idx = static_cast<int>(line_index.size());
+        line_index[name] = idx;
+      }
+      continue;
+    }
+    if (head == ".constants") {
+      ls >> rc.constants;
+      continue;
+    }
+    if (head == ".garbage") {
+      ls >> rc.garbage;
+      continue;
+    }
+    if (head == ".inputs" || head == ".outputs" || head == ".inputbus" ||
+        head == ".outputbus") {
+      continue;  // metadata we do not need
+    }
+    if (head == ".begin") {
+      if (line_index.empty()) fail(line_no, ".begin before .variables");
+      if (declared_vars >= 0 &&
+          declared_vars != static_cast<int>(line_index.size())) {
+        fail(line_no, ".numvars disagrees with .variables");
+      }
+      in_body = true;
+      continue;
+    }
+    if (head == ".end") {
+      if (!in_body) fail(line_no, ".end before .begin");
+      done = true;
+      continue;
+    }
+    if (!in_body) fail(line_no, "gate outside .begin/.end");
+    if (head.size() < 2 || (head[0] != 't' && head[0] != 'f')) {
+      fail(line_no, "unsupported gate '" + head + "' (t*/f* only)");
+    }
+    const bool fredkin = head[0] == 'f';
+    int arity = 0;
+    try {
+      arity = std::stoi(head.substr(1));
+    } catch (const std::exception&) {
+      fail(line_no, "bad gate arity in '" + head + "'");
+    }
+    std::vector<int> operands;
+    std::string name;
+    while (ls >> name) {
+      if (!name.empty() && (name[0] == '-' || name[0] == '+')) {
+        fail(line_no, "negative/positive control markers are unsupported");
+      }
+      const auto it = line_index.find(name);
+      if (it == line_index.end()) fail(line_no, "unknown line '" + name + "'");
+      operands.push_back(it->second);
+    }
+    if (static_cast<int>(operands.size()) != arity) {
+      fail(line_no, "expected " + std::to_string(arity) + " operands");
+    }
+    const int target_count = fredkin ? 2 : 1;
+    if (arity < target_count) fail(line_no, "too few operands");
+    Cube controls = kConstOne;
+    for (std::size_t i = 0; i + target_count < operands.size(); ++i) {
+      controls |= cube_of_var(operands[i]);
+    }
+    try {
+      if (fredkin) {
+        gates.push_back(MixedGate::fredkin(controls,
+                                           operands[operands.size() - 2],
+                                           operands.back()));
+      } else {
+        gates.push_back(MixedGate::toffoli(Gate(controls, operands.back())));
+      }
+    } catch (const std::invalid_argument& e) {
+      fail(line_no, e.what());
+    }
+  }
+  if (!done) throw std::invalid_argument(".real: missing .end");
+  MixedCircuit c(static_cast<int>(line_index.size()));
+  for (const MixedGate& g : gates) c.append(g);
+  rc.circuit = std::move(c);
+  return rc;
+}
+
+}  // namespace rmrls

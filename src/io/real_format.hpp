@@ -1,0 +1,48 @@
+/// \file real_format.hpp
+/// \brief Reader/writer for the RevLib .real circuit format.
+///
+/// RevLib (the successor of the Maslov benchmark page [13] the paper
+/// compares against) interchanges circuits as .real files:
+///
+///     # comment
+///     .version 2.0
+///     .numvars 3
+///     .variables a b c
+///     .constants --0
+///     .garbage --1
+///     .begin
+///     t3 a b c
+///     f1 a b
+///     .end
+///
+/// `tN` is an N-operand Toffoli (last operand = target), `fN` an
+/// N-operand Fredkin (last two operands = the swap pair). Only positive
+/// controls are supported (matching this library's gate model); lines with
+/// negative-control markers are rejected with a clear error.
+
+#pragma once
+
+#include <string>
+
+#include "rev/fredkin.hpp"
+
+namespace rmrls {
+
+/// Metadata carried alongside the gate list.
+struct RealCircuit {
+  MixedCircuit circuit;
+  /// Per line: '-' = primary input, '0'/'1' = constant input.
+  std::string constants;
+  /// Per line: '-' = primary output, '1' = garbage output.
+  std::string garbage;
+};
+
+/// Serializes to .real text (version 2.0 header).
+[[nodiscard]] std::string write_real(const RealCircuit& rc);
+[[nodiscard]] std::string write_real(const MixedCircuit& c);
+
+/// Parses .real text. Throws std::invalid_argument with a line-numbered
+/// message on malformed input or unsupported gate kinds.
+[[nodiscard]] RealCircuit read_real(const std::string& text);
+
+}  // namespace rmrls

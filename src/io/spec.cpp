@@ -1,0 +1,49 @@
+#include "io/spec.hpp"
+
+#include <cctype>
+#include <stdexcept>
+#include <vector>
+
+namespace rmrls {
+
+TruthTable parse_permutation_spec(const std::string& text) {
+  std::vector<std::uint64_t> image;
+  std::uint64_t value = 0;
+  bool in_number = false;
+  bool in_comment = false;
+  for (char ch : text) {
+    if (in_comment) {
+      if (ch == '\n') in_comment = false;
+      continue;
+    }
+    if (ch == '#') {
+      in_comment = true;
+      ch = ' ';  // terminate any pending number
+    }
+    if (std::isdigit(static_cast<unsigned char>(ch))) {
+      value = value * 10 + static_cast<std::uint64_t>(ch - '0');
+      in_number = true;
+      continue;
+    }
+    if (in_number) {
+      image.push_back(value);
+      value = 0;
+      in_number = false;
+    }
+    if (ch == '{' || ch == '}' || ch == ',' ||
+        std::isspace(static_cast<unsigned char>(ch))) {
+      continue;
+    }
+    throw std::invalid_argument(std::string("unexpected character '") + ch +
+                                "' in permutation spec");
+  }
+  if (in_number) image.push_back(value);
+  if (image.empty()) throw std::invalid_argument("empty permutation spec");
+  return TruthTable(std::move(image));  // validates size and bijectivity
+}
+
+std::string write_permutation_spec(const TruthTable& tt) {
+  return tt.to_string();
+}
+
+}  // namespace rmrls

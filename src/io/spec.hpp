@@ -1,0 +1,24 @@
+/// \file spec.hpp
+/// \brief Parsing of reversible specifications in permutation form.
+///
+/// The paper specifies reversible functions as permutations of
+/// {0, ..., 2^n - 1} (Section II-A), e.g. "{1, 0, 7, 2, 3, 4, 5, 6}".
+/// This parser accepts that notation, with or without braces, separated by
+/// commas and/or whitespace, plus `#` comments.
+
+#pragma once
+
+#include <string>
+
+#include "rev/truth_table.hpp"
+
+namespace rmrls {
+
+/// Parses a permutation spec. Throws std::invalid_argument on malformed
+/// text or a non-bijective image vector.
+[[nodiscard]] TruthTable parse_permutation_spec(const std::string& text);
+
+/// Renders in the paper's brace notation (inverse of the parser).
+[[nodiscard]] std::string write_permutation_spec(const TruthTable& tt);
+
+}  // namespace rmrls

@@ -1,0 +1,57 @@
+#include "io/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rmrls {
+
+TextTable::TextTable(std::vector<std::string> header) {
+  if (header.empty()) throw std::invalid_argument("empty table header");
+  rows_.push_back(std::move(header));
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() != rows_[0].size()) {
+    throw std::invalid_argument("row arity does not match header");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(rows_[0].size(), 0);
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      if (c != 0) os << "  ";
+      os << std::string(widths[c] - rows_[r][c].size(), ' ') << rows_[r][c];
+    }
+    os << "\n";
+    if (r == 0) {
+      std::size_t total = 0;
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        total += widths[c] + (c == 0 ? 0 : 2);
+      }
+      os << std::string(total, '-') << "\n";
+    }
+  }
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << to_string(); }
+
+std::string fixed(double value, int digits) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(digits);
+  os << value;
+  return os.str();
+}
+
+}  // namespace rmrls

@@ -1,0 +1,36 @@
+/// \file table.hpp
+/// \brief Fixed-width text tables for the benchmark harnesses.
+///
+/// Every bench binary prints its reproduction of a paper table through this
+/// helper so the outputs line up and are diffable run-to-run.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rmrls {
+
+/// A simple right-aligned text table. Add a header row, then data rows of
+/// the same arity; print() pads columns to their widest cell.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; its size must match the header's.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with a separator under the header.
+  [[nodiscard]] std::string to_string() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;  // rows_[0] is the header
+};
+
+/// Formats a double with `digits` decimals (locale-independent).
+[[nodiscard]] std::string fixed(double value, int digits = 2);
+
+}  // namespace rmrls

@@ -1,0 +1,144 @@
+#include "io/tfc.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace rmrls {
+
+namespace {
+
+std::string line_name(int v, int num_lines) {
+  if (num_lines <= 26) return std::string(1, static_cast<char>('a' + v));
+  return "x" + std::to_string(v);
+}
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char ch : s) {
+    if (ch == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(ch))) {
+      cur.push_back(ch);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+[[noreturn]] void fail(int line_no, const std::string& what) {
+  throw std::invalid_argument("tfc line " + std::to_string(line_no) + ": " +
+                              what);
+}
+
+}  // namespace
+
+std::string write_tfc(const Circuit& c) {
+  std::ostringstream os;
+  const int n = c.num_lines();
+  const auto names = [n] {
+    std::string s;
+    for (int v = 0; v < n; ++v) {
+      if (v != 0) s += ",";
+      s += line_name(v, n);
+    }
+    return s;
+  }();
+  os << ".v " << names << "\n.i " << names << "\n.o " << names << "\nBEGIN\n";
+  for (const Gate& g : c.gates()) {
+    os << "t" << g.size() << " ";
+    bool first = true;
+    for (int v = 0; v < n; ++v) {
+      if (!cube_has_var(g.controls, v)) continue;
+      if (!first) os << ",";
+      os << line_name(v, n);
+      first = false;
+    }
+    if (!first) os << ",";
+    os << line_name(g.target, n) << "\n";
+  }
+  os << "END\n";
+  return os.str();
+}
+
+Circuit read_tfc(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  std::map<std::string, int> line_index;
+  bool in_body = false;
+  bool done = false;
+  std::vector<Gate> gates;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto comment = line.find('#');
+    if (comment != std::string::npos) line.resize(comment);
+    std::istringstream ls(line);
+    std::string head;
+    if (!(ls >> head)) continue;  // blank line
+    if (done) fail(line_no, "content after END");
+    if (head == ".v") {
+      std::string rest;
+      std::getline(ls, rest);
+      for (const std::string& name : split_commas(rest)) {
+        if (line_index.count(name)) fail(line_no, "duplicate line " + name);
+        const int idx = static_cast<int>(line_index.size());
+        line_index[name] = idx;
+      }
+      continue;
+    }
+    if (head == ".i" || head == ".o" || head == ".c" || head == ".ol") {
+      continue;  // metadata we do not need
+    }
+    if (head == "BEGIN") {
+      if (line_index.empty()) fail(line_no, "BEGIN before .v");
+      in_body = true;
+      continue;
+    }
+    if (head == "END") {
+      if (!in_body) fail(line_no, "END before BEGIN");
+      done = true;
+      continue;
+    }
+    if (!in_body) fail(line_no, "gate outside BEGIN/END");
+    if (head.size() < 2 || head[0] != 't') {
+      fail(line_no, "unsupported gate '" + head + "' (Toffoli only)");
+    }
+    int arity = 0;
+    try {
+      arity = std::stoi(head.substr(1));
+    } catch (const std::exception&) {
+      fail(line_no, "bad gate arity in '" + head + "'");
+    }
+    std::string rest;
+    std::getline(ls, rest);
+    const std::vector<std::string> operands = split_commas(rest);
+    if (static_cast<int>(operands.size()) != arity) {
+      fail(line_no, "expected " + std::to_string(arity) + " operands");
+    }
+    Cube controls = kConstOne;
+    int target = -1;
+    for (std::size_t i = 0; i < operands.size(); ++i) {
+      const auto it = line_index.find(operands[i]);
+      if (it == line_index.end()) {
+        fail(line_no, "unknown line '" + operands[i] + "'");
+      }
+      if (i + 1 == operands.size()) {
+        target = it->second;
+      } else {
+        controls |= cube_of_var(it->second);
+      }
+    }
+    if (cube_has_var(controls, target)) {
+      fail(line_no, "target repeated as control");
+    }
+    gates.emplace_back(controls, target);
+  }
+  if (!done) throw std::invalid_argument("tfc: missing END");
+  return Circuit(static_cast<int>(line_index.size()), std::move(gates));
+}
+
+}  // namespace rmrls

@@ -1,0 +1,36 @@
+/// \file tfc.hpp
+/// \brief Reader/writer for the .tfc circuit interchange format.
+///
+/// The de-facto exchange format of the reversible-logic community (used by
+/// Maslov's benchmark page [13] and RevKit). Example:
+///
+///     # comment
+///     .v a,b,c
+///     .i a,b,c
+///     .o a,b,c
+///     BEGIN
+///     t3 a,c,b
+///     t1 a
+///     END
+///
+/// A `tN` line lists N-1 controls followed by the target. Line names map to
+/// variables in `.v` declaration order (line 0 first).
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "rev/circuit.hpp"
+
+namespace rmrls {
+
+/// Serializes `c` to .tfc text. Lines are named a, b, c, ... (x0, x1, ...
+/// above 26 lines).
+[[nodiscard]] std::string write_tfc(const Circuit& c);
+
+/// Parses .tfc text. Throws std::invalid_argument with a line-numbered
+/// message on malformed input.
+[[nodiscard]] Circuit read_tfc(const std::string& text);
+
+}  // namespace rmrls

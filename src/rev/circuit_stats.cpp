@@ -1,0 +1,52 @@
+#include "rev/circuit_stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace rmrls {
+
+CircuitStats analyze(const Circuit& c) {
+  CircuitStats s;
+  s.gates = c.gate_count();
+  s.lines = c.num_lines();
+  Cube touched = 0;
+  // Per-gate earliest layer: one past the latest layer of any earlier
+  // gate it does not commute with.
+  std::vector<int> layer(c.gates().size(), 1);
+  for (std::size_t i = 0; i < c.gates().size(); ++i) {
+    const Gate& g = c.gates()[i];
+    const int m = g.size();
+    ++s.size_histogram[static_cast<std::size_t>(m)];
+    s.max_gate_size = std::max(s.max_gate_size, m);
+    s.controls_total += m - 1;
+    touched |= g.controls | cube_of_var(g.target);
+    for (std::size_t j = 0; j < i; ++j) {
+      if (!c.gates()[j].commutes_with(g)) {
+        layer[i] = std::max(layer[i], layer[j] + 1);
+      }
+    }
+    s.depth = std::max(s.depth, layer[i]);
+  }
+  s.fits_nct = s.max_gate_size <= 3;
+  s.used_lines = literal_count(touched);
+  return s;
+}
+
+std::string stats_to_string(const CircuitStats& s) {
+  std::ostringstream os;
+  os << s.gates << " gates on " << s.lines << " lines (" << s.used_lines
+     << " used), depth " << s.depth << ", library "
+     << (s.fits_nct ? "NCT" : "GT") << ", " << s.controls_total
+     << " controls total\n";
+  os << "gate sizes:";
+  for (int m = 1; m <= s.max_gate_size; ++m) {
+    if (s.size_histogram[static_cast<std::size_t>(m)] == 0) continue;
+    os << "  TOF" << m << " x"
+       << s.size_histogram[static_cast<std::size_t>(m)];
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace rmrls

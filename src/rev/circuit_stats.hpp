@@ -1,0 +1,38 @@
+/// \file circuit_stats.hpp
+/// \brief Structural statistics of Toffoli cascades.
+///
+/// Reports the quantities the reversible-logic literature tabulates beside
+/// gate count and quantum cost: the gate-size histogram (how GT-heavy a
+/// cascade is), which library it fits (NCT vs GT), line utilization, and
+/// logical depth — the minimum number of layers when gates that satisfy
+/// the moving rule may execute side by side.
+
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "rev/circuit.hpp"
+
+namespace rmrls {
+
+struct CircuitStats {
+  int gates = 0;
+  int lines = 0;
+  /// size_histogram[m] = number of gates of width m (m up to 64).
+  std::array<int, kMaxVariables + 1> size_histogram{};
+  int max_gate_size = 0;
+  bool fits_nct = false;  ///< every gate has width <= 3
+  int used_lines = 0;     ///< lines touched by at least one gate
+  int controls_total = 0; ///< sum of control counts (the gamma objective)
+  /// Greedy-layered logical depth: gates are packed into the earliest
+  /// layer after their last non-commuting predecessor.
+  int depth = 0;
+};
+
+[[nodiscard]] CircuitStats analyze(const Circuit& c);
+
+/// Multi-line human-readable rendering.
+[[nodiscard]] std::string stats_to_string(const CircuitStats& s);
+
+}  // namespace rmrls

@@ -1,0 +1,55 @@
+/// \file cube.hpp
+/// \brief Positive-polarity product terms ("cubes") for Reed-Muller algebra.
+///
+/// A PPRM expansion is an XOR of products of *uncomplemented* variables, so a
+/// product term is fully described by the set of variables it contains. We
+/// encode that set as a 64-bit mask: bit `i` set means variable `v_i` appears
+/// in the product. The empty mask is the constant-1 term. This caps the
+/// library at 64 circuit lines, comfortably above the paper's largest
+/// benchmark (shift28, 30 lines).
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace rmrls {
+
+/// A positive-polarity product term over at most 64 variables.
+/// Bit `i` set <=> variable `v_i` is a factor of the product.
+/// `Cube{0}` denotes the constant 1.
+using Cube = std::uint64_t;
+
+/// Maximum number of circuit lines supported by the cube encoding.
+inline constexpr int kMaxVariables = 64;
+
+/// The constant-1 product term.
+inline constexpr Cube kConstOne = 0;
+
+/// Mask with only variable `v` set. Precondition: `0 <= v < kMaxVariables`.
+[[nodiscard]] constexpr Cube cube_of_var(int v) noexcept {
+  return Cube{1} << v;
+}
+
+/// Number of literals in the product (0 for the constant 1).
+[[nodiscard]] constexpr int literal_count(Cube c) noexcept {
+  return std::popcount(c);
+}
+
+/// True if variable `v` appears in the product.
+[[nodiscard]] constexpr bool cube_has_var(Cube c, int v) noexcept {
+  return (c >> v) & 1u;
+}
+
+/// Evaluate the product at input assignment `x` (bit `i` of `x` = value of
+/// `v_i`). The constant-1 cube evaluates to true everywhere.
+[[nodiscard]] constexpr bool cube_eval(Cube c, std::uint64_t x) noexcept {
+  return (x & c) == c;
+}
+
+/// Render a cube using variable names `a, b, c, ...` (variable 0 = `a`),
+/// matching the paper's notation; the constant term renders as "1".
+[[nodiscard]] std::string cube_to_string(Cube c, int num_vars = kMaxVariables);
+
+}  // namespace rmrls

@@ -1,0 +1,115 @@
+#include "rev/decompose.hpp"
+
+#include <bit>
+#include <stdexcept>
+#include <vector>
+
+namespace rmrls {
+
+namespace {
+
+std::vector<int> bits_of(Cube mask) {
+  std::vector<int> out;
+  while (mask) {
+    out.push_back(std::countr_zero(mask));
+    mask &= mask - 1;
+  }
+  return out;
+}
+
+/// Emits the borrowed-ancilla ladder for controls `c` (size m >= 3),
+/// target t, dirty spares `a` (size >= m-2). 4(m-2) TOF3 gates; every
+/// spare is toggled an even number of times, so its value is restored.
+void emit_ladder(const std::vector<int>& c, int t, const std::vector<int>& a,
+                 std::vector<Gate>& out) {
+  const int m = static_cast<int>(c.size());
+  const auto tof3 = [&out](int x, int y, int target) {
+    out.emplace_back(cube_of_var(x) | cube_of_var(y), target);
+  };
+  const auto half = [&] {
+    // top: T(c_m, a_{m-2} -> t)
+    tof3(c[static_cast<std::size_t>(m - 1)],
+         a[static_cast<std::size_t>(m - 3)], t);
+    // down-chain: T(c_{i+1}, a_{i-1} -> a_i) for i = m-2 .. 2
+    for (int i = m - 2; i >= 2; --i) {
+      tof3(c[static_cast<std::size_t>(i)], a[static_cast<std::size_t>(i - 2)],
+           a[static_cast<std::size_t>(i - 1)]);
+    }
+    // base: T(c_1, c_2 -> a_1)
+    tof3(c[0], c[1], a[0]);
+    // up-chain
+    for (int i = 2; i <= m - 2; ++i) {
+      tof3(c[static_cast<std::size_t>(i)], a[static_cast<std::size_t>(i - 2)],
+           a[static_cast<std::size_t>(i - 1)]);
+    }
+  };
+  half();
+  half();
+}
+
+/// Recursively decomposes C^m(X) with controls `c`, target t, on the line
+/// set `all` (a mask). Emits into `out`.
+void decompose_controls(const std::vector<int>& c, int t, Cube all,
+                        std::vector<Gate>& out) {
+  const int m = static_cast<int>(c.size());
+  if (m <= 2) {
+    Cube controls = kConstOne;
+    for (int v : c) controls |= cube_of_var(v);
+    out.emplace_back(controls, t);
+    return;
+  }
+  Cube support = cube_of_var(t);
+  for (int v : c) support |= cube_of_var(v);
+  const std::vector<int> spare = bits_of(all & ~support);
+  if (static_cast<int>(spare.size()) >= m - 2) {
+    emit_ladder(c, t, spare, out);
+    return;
+  }
+  if (spare.empty()) {
+    throw std::logic_error("decompose_controls needs at least one spare");
+  }
+  // Split (Lemma 7.3-style): C^m(X) = A B A B with
+  //   A = C^k(X) on controls c_1..c_k, target f,
+  //   B = C^{m-k+1}(X) on controls c_{k+1}..c_m + f, target t.
+  const int f = spare[0];
+  const int k = (m + 1) / 2;
+  const std::vector<int> first(c.begin(), c.begin() + k);
+  std::vector<int> second(c.begin() + k, c.end());
+  second.push_back(f);
+  for (int round = 0; round < 2; ++round) {
+    decompose_controls(first, f, all, out);
+    decompose_controls(second, t, all, out);
+  }
+}
+
+}  // namespace
+
+std::vector<Gate> decompose_gate(const Gate& gate, int num_lines,
+                                 FullWidthPolicy policy) {
+  if (gate.size() <= 3) return {gate};
+  if (gate.size() >= num_lines) {
+    // No spare line at all: parity-impossible for width >= 4.
+    if (policy == FullWidthPolicy::kKeep) return {gate};
+    throw std::invalid_argument(
+        "a full-width Toffoli (odd permutation) has no NCT network; "
+        "add a line or use FullWidthPolicy::kKeep");
+  }
+  const Cube all = num_lines == kMaxVariables
+                       ? ~Cube{0}
+                       : (Cube{1} << num_lines) - 1;
+  std::vector<Gate> out;
+  decompose_controls(bits_of(gate.controls), gate.target, all, out);
+  return out;
+}
+
+Circuit decompose_to_nct(const Circuit& c, FullWidthPolicy policy) {
+  Circuit out(c.num_lines());
+  for (const Gate& g : c.gates()) {
+    for (const Gate& piece : decompose_gate(g, c.num_lines(), policy)) {
+      out.append(piece);
+    }
+  }
+  return out;
+}
+
+}  // namespace rmrls

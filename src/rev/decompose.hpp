@@ -1,0 +1,46 @@
+/// \file decompose.hpp
+/// \brief Decomposition of generalized Toffoli gates into the NCT library.
+///
+/// The paper's abstract defers to "other algorithms ... that can convert
+/// an n-bit Toffoli gate into a cascade of smaller Toffoli gates"; this
+/// module implements them, following Barenco et al. [12]:
+///
+///  * the borrowed-ancilla ladder (Lemma 7.2-style): an m-control Toffoli
+///    with m-2 *dirty* spare lines becomes 4(m-2) three-bit Toffolis;
+///  * the split (Lemma 7.3-style): with only one spare line f,
+///    C^m(X) = A B A B where A = C^k(X) targeting f (k = ceil(m/2)) and
+///    B uses f as an extra control — both halves then have enough spare
+///    lines for the ladder; applied recursively.
+///
+/// Spare lines are only borrowed: their values are restored, so the
+/// rewrite is correct for every initial assignment (a tested property).
+///
+/// A parity obstruction makes one case impossible: a full-width gate
+/// (m = lines - 1 >= 3) is an odd permutation while every narrower gate
+/// on >= 4 lines is even, so no NCT network exists. Policy choices below.
+
+#pragma once
+
+#include "rev/circuit.hpp"
+
+namespace rmrls {
+
+/// What to do with a full-width gate that provably cannot be decomposed.
+enum class FullWidthPolicy {
+  kThrow,  ///< std::invalid_argument
+  kKeep,   ///< leave the wide gate in place (partial decomposition)
+};
+
+/// Rewrites every gate of width > 3 into NOT/CNOT/TOF3 gates using
+/// borrowed lines. The result realizes the same permutation.
+[[nodiscard]] Circuit decompose_to_nct(
+    const Circuit& c, FullWidthPolicy policy = FullWidthPolicy::kThrow);
+
+/// Decomposes a single gate on a circuit with `num_lines` lines.
+/// Precondition: the gate fits the circuit. Throws (or keeps, per policy)
+/// when `gate.size() == num_lines >= 4`.
+[[nodiscard]] std::vector<Gate> decompose_gate(
+    const Gate& gate, int num_lines,
+    FullWidthPolicy policy = FullWidthPolicy::kThrow);
+
+}  // namespace rmrls

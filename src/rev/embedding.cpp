@@ -1,0 +1,66 @@
+#include "rev/embedding.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace rmrls {
+
+Embedding embed(const IrreversibleSpec& spec) {
+  if (spec.num_inputs < 1 || spec.num_outputs < 1 ||
+      spec.num_inputs >= 24 || spec.num_outputs >= 24) {
+    throw std::invalid_argument("embedding spec out of supported range");
+  }
+  const std::uint64_t rows = std::uint64_t{1} << spec.num_inputs;
+  if (spec.outputs.size() != rows) {
+    throw std::invalid_argument("output vector size mismatch");
+  }
+  for (std::uint64_t y : spec.outputs) {
+    if (y >> spec.num_outputs) {
+      throw std::invalid_argument("output word wider than num_outputs");
+    }
+  }
+
+  // Garbage outputs: enough to disambiguate the most repeated output word.
+  std::unordered_map<std::uint64_t, std::uint64_t> multiplicity;
+  std::uint64_t p = 0;
+  for (std::uint64_t y : spec.outputs) p = std::max(p, ++multiplicity[y]);
+  int garbage = 0;
+  while ((std::uint64_t{1} << garbage) < p) ++garbage;
+
+  const int lines = std::max(spec.num_inputs, spec.num_outputs + garbage);
+  if (lines > 24) throw std::invalid_argument("embedding too wide");
+  const int constant_inputs = lines - spec.num_inputs;
+  const int garbage_outputs = lines - spec.num_outputs;
+
+  // Rows with all-zero constant inputs get the real outputs, disambiguated
+  // by an occurrence counter in the garbage lines.
+  const std::uint64_t size = std::uint64_t{1} << lines;
+  constexpr std::uint64_t kUnassigned = ~std::uint64_t{0};
+  std::vector<std::uint64_t> image(size, kUnassigned);
+  std::vector<bool> used(size, false);
+  std::unordered_map<std::uint64_t, std::uint64_t> occurrence;
+  for (std::uint64_t x = 0; x < rows; ++x) {
+    const std::uint64_t y = spec.outputs[x];
+    const std::uint64_t tag = occurrence[y]++;
+    const std::uint64_t full = y | (tag << spec.num_outputs);
+    image[x] = full;
+    used[full] = true;
+  }
+  // Complete the permutation: remaining rows take unused codes in order.
+  std::uint64_t next = 0;
+  for (std::uint64_t x = rows; x < size; ++x) {
+    while (used[next]) ++next;
+    image[x] = next;
+    used[next] = true;
+  }
+  Embedding e;
+  e.table = TruthTable(std::move(image));
+  e.real_inputs = spec.num_inputs;
+  e.constant_inputs = constant_inputs;
+  e.real_outputs = spec.num_outputs;
+  e.garbage_outputs = garbage_outputs;
+  return e;
+}
+
+}  // namespace rmrls

@@ -1,0 +1,45 @@
+/// \file embedding.hpp
+/// \brief Reversible embedding of irreversible multi-output functions.
+///
+/// Section II-A of the paper: an irreversible function is made reversible by
+/// appending garbage outputs until the input->output mapping is unique. If
+/// the most frequent output pattern occurs p times, ceil(log2 p) garbage
+/// outputs suffice; constant inputs are then added to balance line counts.
+/// Rows where a constant input is nonzero are don't-cares; we complete them
+/// deterministically with the unused output codes in ascending order.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rev/truth_table.hpp"
+
+namespace rmrls {
+
+/// An irreversible, completely specified multi-output Boolean function:
+/// `outputs[x]` is the packed output word for input `x` (bit j = output j).
+struct IrreversibleSpec {
+  int num_inputs = 0;
+  int num_outputs = 0;
+  std::vector<std::uint64_t> outputs;  // size 2^num_inputs
+};
+
+/// A reversible embedding. Line layout: original inputs occupy lines
+/// 0..num_inputs-1 and constant inputs the lines above; original outputs
+/// occupy lines 0..num_outputs-1 and garbage outputs the lines above.
+struct Embedding {
+  TruthTable table;
+  int real_inputs = 0;
+  int constant_inputs = 0;
+  int real_outputs = 0;
+  int garbage_outputs = 0;
+
+  [[nodiscard]] int lines() const { return real_inputs + constant_inputs; }
+};
+
+/// Builds the minimal-garbage embedding of `spec`.
+/// Throws std::invalid_argument on malformed specs.
+[[nodiscard]] Embedding embed(const IrreversibleSpec& spec);
+
+}  // namespace rmrls

@@ -1,0 +1,211 @@
+#include "rev/embedding_search.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <optional>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "rev/quantum_cost.hpp"
+
+namespace rmrls {
+
+namespace {
+
+std::uint64_t extract_bits(std::uint64_t x, Cube mask) {
+  std::uint64_t out = 0;
+  int i = 0;
+  while (mask) {
+    const int b = std::countr_zero(mask);
+    mask &= mask - 1;
+    out |= ((x >> b) & 1) << i++;
+  }
+  return out;
+}
+
+struct Shape {
+  int garbage = 0;
+  int lines = 0;
+  std::uint64_t rows = 0;
+};
+
+Shape shape_of(const IrreversibleSpec& spec) {
+  std::unordered_map<std::uint64_t, std::uint64_t> multiplicity;
+  std::uint64_t p = 0;
+  for (std::uint64_t y : spec.outputs) p = std::max(p, ++multiplicity[y]);
+  Shape s;
+  while ((std::uint64_t{1} << s.garbage) < p) ++s.garbage;
+  s.lines = std::max(spec.num_inputs, spec.num_outputs + s.garbage);
+  s.rows = std::uint64_t{1} << spec.num_inputs;
+  return s;
+}
+
+/// Assembles an embedding from per-row garbage tags (which must be unique
+/// within each output-value group) and a fill policy for don't-care rows.
+Embedding assemble(const IrreversibleSpec& spec, const Shape& s,
+                   const std::vector<std::uint64_t>& tags,
+                   bool identity_fill) {
+  const std::uint64_t size = std::uint64_t{1} << s.lines;
+  constexpr std::uint64_t kUnassigned = ~std::uint64_t{0};
+  std::vector<std::uint64_t> image(size, kUnassigned);
+  std::vector<bool> used(size, false);
+  for (std::uint64_t x = 0; x < s.rows; ++x) {
+    const std::uint64_t full =
+        spec.outputs[x] | (tags[x] << spec.num_outputs);
+    if (full >= size || used[full]) {
+      throw std::invalid_argument("invalid garbage tag assignment");
+    }
+    image[x] = full;
+    used[full] = true;
+  }
+  if (identity_fill) {
+    for (std::uint64_t x = s.rows; x < size; ++x) {
+      if (!used[x]) {
+        image[x] = x;
+        used[x] = true;
+      }
+    }
+  }
+  std::uint64_t next = 0;
+  for (std::uint64_t x = s.rows; x < size; ++x) {
+    if (image[x] != kUnassigned) continue;
+    while (used[next]) ++next;
+    image[x] = next;
+    used[next] = true;
+  }
+  Embedding e;
+  e.table = TruthTable(std::move(image));
+  e.real_inputs = spec.num_inputs;
+  e.constant_inputs = s.lines - spec.num_inputs;
+  e.real_outputs = spec.num_outputs;
+  e.garbage_outputs = s.lines - spec.num_outputs;
+  return e;
+}
+
+/// Occurrence-counter tags (the baseline embed() uses).
+std::vector<std::uint64_t> counter_tags(const IrreversibleSpec& spec,
+                                        const Shape& s) {
+  std::vector<std::uint64_t> tags(s.rows);
+  std::unordered_map<std::uint64_t, std::uint64_t> occurrence;
+  for (std::uint64_t x = 0; x < s.rows; ++x) {
+    tags[x] = occurrence[spec.outputs[x]]++;
+  }
+  return tags;
+}
+
+/// Greedy minimal input-bit subset distinguishing every output group;
+/// empty optional when no subset fits in the garbage width.
+std::optional<Cube> distinguishing_bits(const IrreversibleSpec& spec,
+                                        const Shape& s) {
+  Cube chosen = 0;
+  const auto distinct_everywhere = [&](Cube bits) {
+    std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> groups;
+    for (std::uint64_t x = 0; x < s.rows; ++x) {
+      groups[spec.outputs[x]].push_back(
+          static_cast<std::uint64_t>(std::popcount(bits)) == 0
+              ? 0
+              : extract_bits(x, bits));
+    }
+    for (auto& [y, vals] : groups) {
+      std::sort(vals.begin(), vals.end());
+      if (std::adjacent_find(vals.begin(), vals.end()) != vals.end()) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (int round = 0; round < s.garbage; ++round) {
+    if (distinct_everywhere(chosen)) break;
+    // Add the bit that resolves the most collisions.
+    int best_bit = -1;
+    std::uint64_t best_collisions = ~std::uint64_t{0};
+    for (int bit = 0; bit < spec.num_inputs; ++bit) {
+      if (cube_has_var(chosen, bit)) continue;
+      const Cube trial = chosen | cube_of_var(bit);
+      std::unordered_map<std::uint64_t, std::uint64_t> seen;
+      std::uint64_t collisions = 0;
+      for (std::uint64_t x = 0; x < s.rows; ++x) {
+        const std::uint64_t key =
+            spec.outputs[x] | (extract_bits(x, trial) << spec.num_outputs);
+        collisions += seen[key]++;
+      }
+      if (collisions < best_collisions) {
+        best_collisions = collisions;
+        best_bit = bit;
+      }
+    }
+    if (best_bit < 0) break;
+    chosen |= cube_of_var(best_bit);
+  }
+  if (!distinct_everywhere(chosen)) return std::nullopt;
+  return chosen;
+}
+
+}  // namespace
+
+Embedding embed_input_echo(const IrreversibleSpec& spec) {
+  const Shape s = shape_of(spec);
+  const std::optional<Cube> bits = distinguishing_bits(spec, s);
+  if (!bits) return embed(spec);  // no compact echo exists
+  std::vector<std::uint64_t> tags(s.rows);
+  for (std::uint64_t x = 0; x < s.rows; ++x) tags[x] = extract_bits(x, *bits);
+  return assemble(spec, s, tags, /*identity_fill=*/true);
+}
+
+Embedding embed_identity_fill(const IrreversibleSpec& spec) {
+  const Shape s = shape_of(spec);
+  return assemble(spec, s, counter_tags(spec, s), /*identity_fill=*/true);
+}
+
+EmbeddingSearchResult find_best_embedding(
+    const IrreversibleSpec& spec, const EmbeddingSearchOptions& options) {
+  const Shape s = shape_of(spec);
+
+  std::vector<Embedding> portfolio;
+  portfolio.push_back(embed(spec));
+  portfolio.push_back(embed_identity_fill(spec));
+  portfolio.push_back(embed_input_echo(spec));
+
+  std::mt19937_64 rng(options.seed);
+  for (int attempt = 0; attempt < options.random_attempts; ++attempt) {
+    // Shuffle the tag order within every output group.
+    std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> members;
+    for (std::uint64_t x = 0; x < s.rows; ++x) {
+      members[spec.outputs[x]].push_back(x);
+    }
+    std::vector<std::uint64_t> tags(s.rows);
+    for (auto& [y, rows] : members) {
+      std::vector<std::uint64_t> order(rows.size());
+      for (std::uint64_t i = 0; i < rows.size(); ++i) order[i] = i;
+      std::shuffle(order.begin(), order.end(), rng);
+      for (std::uint64_t i = 0; i < rows.size(); ++i) {
+        tags[rows[i]] = order[i];
+      }
+    }
+    portfolio.push_back(assemble(spec, s, tags, /*identity_fill=*/true));
+  }
+
+  EmbeddingSearchResult result;
+  long long best_cost = 0;
+  for (Embedding& e : portfolio) {
+    ++result.attempts;
+    SynthesisResult r = synthesize(e.table, options.synthesis);
+    if (!r.success) continue;
+    ++result.solved;
+    const long long cost = quantum_cost(r.circuit);
+    const bool better =
+        !result.synthesis.success ||
+        r.circuit.gate_count() < result.synthesis.circuit.gate_count() ||
+        (r.circuit.gate_count() == result.synthesis.circuit.gate_count() &&
+         cost < best_cost);
+    if (better) {
+      result.embedding = std::move(e);
+      result.synthesis = std::move(r);
+      best_cost = cost;
+    }
+  }
+  return result;
+}
+
+}  // namespace rmrls

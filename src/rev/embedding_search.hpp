@@ -1,0 +1,56 @@
+/// \file embedding_search.hpp
+/// \brief Searching over garbage/don't-care assignments (the paper's
+/// Section VI future work).
+///
+/// The paper: "We currently preassign values to don't-care outputs. It
+/// would be better if we could find a way to dynamically assign these
+/// values during synthesis." Which reversible embedding an irreversible
+/// function gets changes circuit size dramatically (the hand-tuned adder
+/// embedding of Fig. 2(b) needs 4 gates; a naive one needs three times
+/// that). This module generates a portfolio of embeddings — the
+/// occurrence-counter baseline, an input-echo embedding (garbage mirrors a
+/// distinguishing subset of the inputs, the paper's "g_o = a" trick),
+/// identity-preferring don't-care completion, and seeded random tag
+/// shuffles — synthesizes each under a shared budget, and returns the best.
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/synthesizer.hpp"
+#include "rev/embedding.hpp"
+
+namespace rmrls {
+
+struct EmbeddingSearchOptions {
+  /// Random tag-shuffle attempts on top of the deterministic strategies.
+  int random_attempts = 4;
+  std::uint64_t seed = 1;
+  /// Search options per attempt (budget applies to each attempt).
+  SynthesisOptions synthesis;
+};
+
+struct EmbeddingSearchResult {
+  Embedding embedding;        ///< the winning embedding
+  SynthesisResult synthesis;  ///< its circuit (success == false if none won)
+  int attempts = 0;           ///< embeddings tried
+  int solved = 0;             ///< embeddings that synthesized at all
+};
+
+/// Tries the strategy portfolio and returns the embedding whose circuit
+/// has the fewest gates (ties: lower quantum cost).
+[[nodiscard]] EmbeddingSearchResult find_best_embedding(
+    const IrreversibleSpec& spec, const EmbeddingSearchOptions& options = {});
+
+/// The input-echo embedding alone: garbage outputs replicate a minimal
+/// distinguishing subset of the inputs (generalizes the paper's Fig. 2(b)
+/// "extra garbage output set equal to input a or b"). Falls back to the
+/// occurrence counter when no small subset distinguishes a group.
+[[nodiscard]] Embedding embed_input_echo(const IrreversibleSpec& spec);
+
+/// The identity-preferring embedding: like embed(), but don't-care rows
+/// (nonzero constant inputs) map to themselves whenever the code is still
+/// free, keeping the function close to the identity.
+[[nodiscard]] Embedding embed_identity_fill(const IrreversibleSpec& spec);
+
+}  // namespace rmrls

@@ -1,0 +1,32 @@
+#include "rev/equivalence.hpp"
+
+#include <stdexcept>
+
+namespace rmrls {
+
+bool equivalent(const Circuit& a, const Circuit& b) {
+  if (a.num_lines() != b.num_lines()) {
+    throw std::invalid_argument("comparing circuits of different width");
+  }
+  // Compare the canonical PPRMs directly. (Appending b's mirror to a and
+  // checking for the identity is also exact but can blow up the
+  // intermediate expansions exponentially on wide carry-chain circuits.)
+  return a.to_pprm() == b.to_pprm();
+}
+
+bool equivalent(const Circuit& c, const Pprm& spec) {
+  if (c.num_lines() != spec.num_vars()) {
+    throw std::invalid_argument("comparing circuit and spec of different width");
+  }
+  return c.to_pprm() == spec;
+}
+
+bool equivalent(const MixedCircuit& a, const Circuit& b) {
+  return equivalent(a.to_toffoli(), b);
+}
+
+bool equivalent(const MixedCircuit& a, const MixedCircuit& b) {
+  return equivalent(a.to_toffoli(), b.to_toffoli());
+}
+
+}  // namespace rmrls

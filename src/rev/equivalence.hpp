@@ -1,0 +1,30 @@
+/// \file equivalence.hpp
+/// \brief Exact equivalence checking for reversible circuits of any width.
+///
+/// Two cascades realize the same function iff their PPRM systems are
+/// identical — the PPRM is canonical (paper, Section II-C) and is computed
+/// here by reverse gate substitution, so the check is exact even at widths
+/// where truth tables are unthinkable (shift28's 30 lines, or the full 64
+/// the cube encoding supports). Complements simulation-based
+/// `implements()` checks with a formal one.
+
+#pragma once
+
+#include "rev/circuit.hpp"
+#include "rev/fredkin.hpp"
+#include "rev/pprm.hpp"
+
+namespace rmrls {
+
+/// Exact: true iff `a` and `b` realize the same permutation.
+/// Throws std::invalid_argument when the widths differ.
+[[nodiscard]] bool equivalent(const Circuit& a, const Circuit& b);
+
+/// Exact: true iff `c` realizes exactly the PPRM system `spec`.
+[[nodiscard]] bool equivalent(const Circuit& c, const Pprm& spec);
+
+/// Mixed cascades are checked through their Toffoli expansions.
+[[nodiscard]] bool equivalent(const MixedCircuit& a, const Circuit& b);
+[[nodiscard]] bool equivalent(const MixedCircuit& a, const MixedCircuit& b);
+
+}  // namespace rmrls

@@ -1,0 +1,92 @@
+/// \file fredkin.hpp
+/// \brief Fredkin (controlled-swap) gates and mixed Toffoli/Fredkin
+/// cascades.
+///
+/// The paper's future-work section proposes incorporating Fredkin gates:
+/// "A Fredkin gate is equivalent to three Toffoli gates. Thus, the use of
+/// Fredkin gates could yield a significant improvement in circuit
+/// quality." This module provides the gate, mixed cascades, and the
+/// equivalence both ways; templates/fredkinize.hpp extracts Fredkin gates
+/// from synthesized Toffoli cascades.
+///
+/// A generalized Fredkin gate FRE(C; x, y) swaps lines x and y when every
+/// control in C is 1. It equals the Toffoli triple
+///   TOF(C + {y}; x) TOF(C + {x}; y) TOF(C + {y}; x).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rev/circuit.hpp"
+#include "rev/gate.hpp"
+
+namespace rmrls {
+
+/// One gate of a mixed cascade: a generalized Toffoli (target `a`; `b`
+/// unused) or a generalized Fredkin (swap pair `a`, `b`).
+struct MixedGate {
+  enum class Kind { kToffoli, kFredkin };
+
+  Kind kind = Kind::kToffoli;
+  Cube controls = kConstOne;
+  std::uint8_t a = 0;
+  std::uint8_t b = 0;
+
+  [[nodiscard]] static MixedGate toffoli(const Gate& g) {
+    return {Kind::kToffoli, g.controls, g.target, 0};
+  }
+  [[nodiscard]] static MixedGate fredkin(Cube controls, int x, int y);
+
+  /// Lines the gate touches: controls plus target(s).
+  [[nodiscard]] int size() const {
+    return literal_count(controls) + (kind == Kind::kFredkin ? 2 : 1);
+  }
+
+  [[nodiscard]] std::uint64_t apply(std::uint64_t state) const;
+
+  friend bool operator==(const MixedGate&, const MixedGate&) = default;
+};
+
+/// Renders as "TOF3(a, b; c)" or "FRE3(c; a, b)".
+[[nodiscard]] std::string mixed_gate_to_string(const MixedGate& g,
+                                               int num_vars = kMaxVariables);
+
+/// A cascade over the NCT+Fredkin (NCTSF-style) library.
+class MixedCircuit {
+ public:
+  MixedCircuit() = default;
+  explicit MixedCircuit(int num_lines);
+
+  /// Lifts a pure Toffoli cascade.
+  explicit MixedCircuit(const Circuit& c);
+
+  [[nodiscard]] int num_lines() const { return num_lines_; }
+  [[nodiscard]] int gate_count() const {
+    return static_cast<int>(gates_.size());
+  }
+  [[nodiscard]] const std::vector<MixedGate>& gates() const { return gates_; }
+
+  void append(const MixedGate& g);
+
+  [[nodiscard]] std::uint64_t simulate(std::uint64_t x) const;
+
+  /// Expands every Fredkin gate into its Toffoli triple.
+  [[nodiscard]] Circuit to_toffoli() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const MixedCircuit&, const MixedCircuit&) = default;
+
+ private:
+  std::vector<MixedGate> gates_;
+  int num_lines_ = 0;
+};
+
+/// Quantum cost of a mixed cascade. A Fredkin with m-1 controls prices as
+/// the equal-width Toffoli plus two CNOTs, except the 3-bit Fredkin whose
+/// direct realization costs 5 like the 3-bit Toffoli [13].
+[[nodiscard]] long long quantum_cost(const MixedCircuit& c);
+
+}  // namespace rmrls

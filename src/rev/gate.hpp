@@ -1,0 +1,61 @@
+/// \file gate.hpp
+/// \brief Generalized Toffoli gates.
+///
+/// An m-bit Toffoli gate TOFm(c_1, ..., c_{m-1}; t) passes its control lines
+/// through and inverts the target line when all controls are 1 (paper,
+/// eq. 1). TOF1 is NOT, TOF2 is CNOT/Feynman. Controls are a positive-literal
+/// cube; the gate is exactly the PPRM substitution `v_t <- v_t XOR controls`.
+
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "rev/cube.hpp"
+
+namespace rmrls {
+
+/// A generalized Toffoli gate: invert `target` when every line in
+/// `controls` carries 1. Invariant: `controls` never includes `target`.
+struct Gate {
+  Cube controls = kConstOne;
+  std::uint8_t target = 0;
+
+  Gate() = default;
+  Gate(Cube controls_in, int target_in)
+      : controls(controls_in), target(static_cast<std::uint8_t>(target_in)) {
+    if (target_in < 0 || target_in >= kMaxVariables) {
+      throw std::invalid_argument("gate target out of range");
+    }
+    if (cube_has_var(controls_in, target_in)) {
+      throw std::invalid_argument("gate target cannot also be a control");
+    }
+  }
+
+  /// Gate width m: number of controls plus the target.
+  [[nodiscard]] int size() const { return literal_count(controls) + 1; }
+
+  /// Applies the gate to basis state `x` (bit i of x = line i).
+  [[nodiscard]] std::uint64_t apply(std::uint64_t x) const {
+    if ((x & controls) == controls) x ^= std::uint64_t{1} << target;
+    return x;
+  }
+
+  /// Two Toffoli gates may be interchanged in a cascade when neither
+  /// target feeds the other's controls (the "moving rule" of the template
+  /// literature [20]-[22]); gates sharing a target always commute.
+  [[nodiscard]] bool commutes_with(const Gate& g) const {
+    if (target == g.target) return true;
+    return !cube_has_var(g.controls, target) &&
+           !cube_has_var(controls, g.target);
+  }
+
+  friend bool operator==(const Gate&, const Gate&) = default;
+};
+
+/// Renders in the paper's notation, e.g. "TOF3(a, c; b)".
+[[nodiscard]] std::string gate_to_string(const Gate& g,
+                                         int num_vars = kMaxVariables);
+
+}  // namespace rmrls

@@ -1,0 +1,165 @@
+#include "rev/polarity.hpp"
+
+#include <bit>
+#include <sstream>
+#include <stdexcept>
+
+namespace rmrls {
+
+PolarityGate::PolarityGate(Cube controls_in, Cube polarity_in, int target_in)
+    : controls(controls_in),
+      polarity(polarity_in),
+      target(static_cast<std::uint8_t>(target_in)) {
+  if (target_in < 0 || target_in >= kMaxVariables) {
+    throw std::invalid_argument("gate target out of range");
+  }
+  if (cube_has_var(controls_in, target_in)) {
+    throw std::invalid_argument("gate target cannot also be a control");
+  }
+  if (polarity_in & ~controls_in) {
+    throw std::invalid_argument("polarity bit outside the control set");
+  }
+}
+
+std::string polarity_gate_to_string(const PolarityGate& g, int num_vars) {
+  std::ostringstream os;
+  os << "TOF" << g.size() << "(";
+  bool first = true;
+  for (int v = 0; v < num_vars; ++v) {
+    if (!cube_has_var(g.controls, v)) continue;
+    if (!first) os << ", ";
+    os << cube_to_string(cube_of_var(v), num_vars);
+    if (!cube_has_var(g.polarity, v)) os << "'";
+    first = false;
+  }
+  if (!first) os << "; ";
+  os << cube_to_string(cube_of_var(g.target), num_vars) << ")";
+  return os.str();
+}
+
+PolarityCircuit::PolarityCircuit(int num_lines) : num_lines_(num_lines) {
+  if (num_lines < 0 || num_lines > kMaxVariables) {
+    throw std::invalid_argument("num_lines out of range");
+  }
+}
+
+PolarityCircuit::PolarityCircuit(const Circuit& c)
+    : PolarityCircuit(c.num_lines()) {
+  for (const Gate& g : c.gates()) append(PolarityGate::positive(g));
+}
+
+void PolarityCircuit::append(const PolarityGate& g) {
+  const Cube line_mask = num_lines_ == kMaxVariables
+                             ? ~Cube{0}
+                             : (Cube{1} << num_lines_) - 1;
+  if (g.target >= num_lines_ || (g.controls & ~line_mask) != 0) {
+    throw std::invalid_argument("gate touches a line outside the circuit");
+  }
+  gates_.push_back(g);
+}
+
+std::uint64_t PolarityCircuit::simulate(std::uint64_t x) const {
+  for (const PolarityGate& g : gates_) x = g.apply(x);
+  return x;
+}
+
+Circuit PolarityCircuit::to_positive() const {
+  Circuit out(num_lines_);
+  // Lines currently inverted by a pending sandwich NOT: emitting the next
+  // gate first reconciles this set with what the gate needs, so adjacent
+  // sandwiches over the same line cancel instead of doubling up.
+  Cube inverted = 0;
+  const auto reconcile = [&](Cube wanted) {
+    Cube flip = inverted ^ wanted;
+    while (flip) {
+      const int v = std::countr_zero(flip);
+      flip &= flip - 1;
+      out.append(Gate(kConstOne, v));
+    }
+    inverted = wanted;
+  };
+  for (const PolarityGate& g : gates_) {
+    reconcile(g.negative_controls());
+    out.append(Gate(g.controls, g.target));
+  }
+  reconcile(0);
+  return out;
+}
+
+std::string PolarityCircuit::to_string() const {
+  if (gates_.empty()) return "(empty)";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    if (i != 0) os << " ";
+    os << polarity_gate_to_string(gates_[i], num_lines_);
+  }
+  return os.str();
+}
+
+namespace {
+
+bool commutes(const PolarityGate& a, const Gate& b) {
+  if (a.target == b.target) return true;
+  return !cube_has_var(b.controls, a.target) &&
+         !cube_has_var(a.controls, b.target);
+}
+
+}  // namespace
+
+PolarityCompressResult compress_polarity(const Circuit& c) {
+  // Work on the lifted gate list; fold NOT pairs around a single gate.
+  std::vector<PolarityGate> gates;
+  gates.reserve(static_cast<std::size_t>(c.gate_count()));
+  for (const Gate& g : c.gates()) gates.push_back(PolarityGate::positive(g));
+
+  PolarityCompressResult result;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+      const PolarityGate& head = gates[i];
+      if (head.size() != 1) continue;  // need a NOT to open the sandwich
+      const int line = head.target;
+      const Gate head_plain(kConstOne, line);
+      // Find a matching closing NOT; everything between must either be
+      // the (unique) gate we flip a control of, or commute with the NOT.
+      std::size_t mid = 0;
+      bool have_mid = false;
+      bool blocked = false;
+      std::size_t j = i + 1;
+      for (; j < gates.size(); ++j) {
+        const PolarityGate& g = gates[j];
+        if (g.size() == 1 && g.target == line) break;  // closing NOT
+        if (cube_has_var(g.controls, line)) {
+          if (have_mid) {
+            blocked = true;  // two gates read the line: cannot fold once
+            break;
+          }
+          mid = j;
+          have_mid = true;
+          continue;
+        }
+        if (!commutes(g, head_plain)) {
+          blocked = true;
+          break;
+        }
+      }
+      if (blocked || j >= gates.size() || !have_mid) continue;
+      // Fold: flip the polarity of `line` on the middle gate, drop NOTs.
+      PolarityGate& m = gates[mid];
+      m = PolarityGate(m.controls, m.polarity ^ cube_of_var(line), m.target);
+      gates.erase(gates.begin() + static_cast<std::ptrdiff_t>(j));
+      gates.erase(gates.begin() + static_cast<std::ptrdiff_t>(i));
+      ++result.sandwiches_folded;
+      result.gates_saved += 2;
+      changed = true;
+      break;
+    }
+  }
+  PolarityCircuit out(c.num_lines());
+  for (const PolarityGate& g : gates) out.append(g);
+  result.circuit = std::move(out);
+  return result;
+}
+
+}  // namespace rmrls

@@ -1,0 +1,102 @@
+/// \file polarity.hpp
+/// \brief Mixed-polarity (negative-control) Toffoli gates.
+///
+/// The paper's gate model is positive-polarity only, but the surrounding
+/// ecosystem (RevLib, template libraries) routinely uses negative
+/// controls: a control that fires on 0 instead of 1. A negative control
+/// is the NOT-sandwich `TOF1(c) TOF(C; t) TOF1(c)` collapsed into one
+/// gate; most cost models price both polarities identically, so
+/// compressing sandwiches is a free gate-count reduction.
+///
+/// This module provides the gate/circuit types, exact conversion in both
+/// directions, and the sandwich-compression pass.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rev/circuit.hpp"
+
+namespace rmrls {
+
+/// A Toffoli gate with per-control polarity: fires when every line in
+/// `controls` matches `polarity` (bit set = positive, fire on 1).
+/// Invariants: `polarity subset of controls`, target not in controls.
+struct PolarityGate {
+  Cube controls = kConstOne;
+  Cube polarity = kConstOne;
+  std::uint8_t target = 0;
+
+  PolarityGate() = default;
+  PolarityGate(Cube controls_in, Cube polarity_in, int target_in);
+
+  /// Lifts a positive-polarity gate.
+  [[nodiscard]] static PolarityGate positive(const Gate& g) {
+    return PolarityGate(g.controls, g.controls, g.target);
+  }
+
+  [[nodiscard]] int size() const { return literal_count(controls) + 1; }
+  [[nodiscard]] Cube negative_controls() const {
+    return controls & ~polarity;
+  }
+
+  [[nodiscard]] std::uint64_t apply(std::uint64_t x) const {
+    if ((x & controls) == polarity) x ^= std::uint64_t{1} << target;
+    return x;
+  }
+
+  friend bool operator==(const PolarityGate&, const PolarityGate&) = default;
+};
+
+/// Renders e.g. "TOF3(a, b'; c)" (prime marks a negative control).
+[[nodiscard]] std::string polarity_gate_to_string(
+    const PolarityGate& g, int num_vars = kMaxVariables);
+
+/// A cascade of mixed-polarity Toffoli gates.
+class PolarityCircuit {
+ public:
+  PolarityCircuit() = default;
+  explicit PolarityCircuit(int num_lines);
+  explicit PolarityCircuit(const Circuit& c);  // lift, all positive
+
+  [[nodiscard]] int num_lines() const { return num_lines_; }
+  [[nodiscard]] int gate_count() const {
+    return static_cast<int>(gates_.size());
+  }
+  [[nodiscard]] const std::vector<PolarityGate>& gates() const {
+    return gates_;
+  }
+
+  void append(const PolarityGate& g);
+
+  [[nodiscard]] std::uint64_t simulate(std::uint64_t x) const;
+
+  /// Exact expansion back to positive-polarity gates: each negative
+  /// control becomes a NOT sandwich; adjacent sandwich NOTs on the same
+  /// line cancel during emission.
+  [[nodiscard]] Circuit to_positive() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const PolarityCircuit&,
+                         const PolarityCircuit&) = default;
+
+ private:
+  std::vector<PolarityGate> gates_;
+  int num_lines_ = 0;
+};
+
+struct PolarityCompressResult {
+  PolarityCircuit circuit;
+  int sandwiches_folded = 0;  ///< NOT pairs absorbed into polarities
+  int gates_saved = 0;        ///< 2 per folded sandwich
+};
+
+/// Folds `TOF1(c) g TOF1(c)` patterns (with `c` a control of `g`, found
+/// through commuting neighbours) into negative controls, repeatedly.
+/// Function-preserving; gate count strictly decreases per fold.
+[[nodiscard]] PolarityCompressResult compress_polarity(const Circuit& c);
+
+}  // namespace rmrls

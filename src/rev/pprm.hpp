@@ -1,0 +1,131 @@
+/// \file pprm.hpp
+/// \brief Multi-output positive-polarity Reed-Muller (PPRM) expansions.
+///
+/// The synthesizer's working state (paper, Section IV) is the PPRM expansion
+/// of every output of a reversible function. An expansion is an XOR of cubes;
+/// we keep it as a sorted, duplicate-free vector with symmetric-difference
+/// (XOR) insertion semantics, which makes term cancellation automatic.
+///
+/// The gate primitive of the whole algorithm is the substitution
+/// `v_t <- v_t XOR f` for a factor cube `f` not containing `v_t`; applying it
+/// to an expansion adds, for every cube `c` containing `v_t`, the cube
+/// `(c \ {v_t}) | f` (with cancellation). The substitution corresponds
+/// one-to-one to the Toffoli gate with target `t` and controls `f`.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rev/cube.hpp"
+
+namespace rmrls {
+
+/// A single-output PPRM expansion: an XOR of cubes, stored sorted and unique.
+class CubeList {
+ public:
+  CubeList() = default;
+
+  /// Builds from an arbitrary cube sequence, cancelling duplicate pairs
+  /// (XOR semantics: an even number of occurrences vanishes).
+  explicit CubeList(std::vector<Cube> cubes);
+
+  /// XOR a single cube into the expansion (inserts it, or removes an
+  /// existing identical cube).
+  void toggle(Cube c);
+
+  /// XOR a whole expansion into this one.
+  void toggle_all(const CubeList& other);
+
+  /// True if the expansion contains cube `c`.
+  [[nodiscard]] bool contains(Cube c) const;
+
+  /// Number of terms.
+  [[nodiscard]] int size() const { return static_cast<int>(cubes_.size()); }
+  [[nodiscard]] bool empty() const { return cubes_.empty(); }
+
+  /// True if the expansion is exactly the single term `v_t`.
+  [[nodiscard]] bool is_single_var(int t) const {
+    return cubes_.size() == 1 && cubes_[0] == cube_of_var(t);
+  }
+
+  /// Evaluate at input assignment `x` (GF(2) sum of products).
+  [[nodiscard]] bool eval(std::uint64_t x) const;
+
+  /// Applies `v_t <- v_t XOR f`. Precondition: `f` does not contain `v_t`.
+  /// Returns the change in term count (negative when terms cancelled).
+  int substitute(int t, Cube f);
+
+  /// Term-count change `substitute(t, f)` would cause, without mutating.
+  /// The search engine uses this to price every candidate and only
+  /// materializes the children it actually enqueues.
+  [[nodiscard]] int substitute_delta(int t, Cube f) const;
+
+  /// True if any cube contains variable `t`.
+  [[nodiscard]] bool depends_on(int t) const;
+
+  /// Sorted, duplicate-free view of the terms.
+  [[nodiscard]] const std::vector<Cube>& cubes() const { return cubes_; }
+
+  /// Renders as e.g. "b + c + ac" (the paper writes XOR as +/oplus).
+  [[nodiscard]] std::string to_string(int num_vars = kMaxVariables) const;
+
+  friend bool operator==(const CubeList&, const CubeList&) = default;
+
+ private:
+  std::vector<Cube> cubes_;  // sorted ascending, no duplicates
+};
+
+/// The PPRM expansions of every output of an n-line reversible function.
+/// Output `i` is paired with input variable `v_i` throughout, as in the
+/// paper: synthesis finishes when `out_i = v_i` for every `i`.
+class Pprm {
+ public:
+  Pprm() = default;
+
+  /// An all-outputs-empty system on `n` lines (not the identity).
+  explicit Pprm(int num_vars);
+
+  /// The identity system: `out_i = v_i`.
+  [[nodiscard]] static Pprm identity(int num_vars);
+
+  [[nodiscard]] int num_vars() const { return static_cast<int>(outs_.size()); }
+
+  [[nodiscard]] const CubeList& output(int i) const { return outs_[i]; }
+  [[nodiscard]] CubeList& output(int i) { return outs_[i]; }
+
+  /// Total number of terms across all outputs (the paper's `terms`).
+  [[nodiscard]] int term_count() const;
+
+  /// True if every output is exactly its paired variable.
+  [[nodiscard]] bool is_identity() const;
+
+  /// Applies `v_t <- v_t XOR f` to every output.
+  /// Precondition: `f` does not contain `v_t`.
+  /// Returns the change in total term count.
+  int substitute(int t, Cube f);
+
+  /// Total term-count change `substitute(t, f)` would cause, read-only.
+  [[nodiscard]] int substitute_delta(int t, Cube f) const;
+
+  /// Evaluates all outputs at assignment `x`; bit `i` of the result is
+  /// output `i`.
+  [[nodiscard]] std::uint64_t eval(std::uint64_t x) const;
+
+  /// Multi-line human-readable rendering, one output per line.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Order-independent hash of the whole system (for transposition tables).
+  [[nodiscard]] std::size_t hash() const;
+
+  friend bool operator==(const Pprm&, const Pprm&) = default;
+
+ private:
+  std::vector<CubeList> outs_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Pprm& p);
+
+}  // namespace rmrls

@@ -1,0 +1,36 @@
+#include "rev/quantum_cost.hpp"
+
+#include <stdexcept>
+
+namespace rmrls {
+
+long long toffoli_cost(int gate_size, int free_lines) {
+  if (gate_size < 1) throw std::invalid_argument("gate size must be >= 1");
+  if (free_lines < 0) throw std::invalid_argument("negative free lines");
+  switch (gate_size) {
+    case 1:
+    case 2:
+      return 1;
+    case 3:
+      return 5;
+    case 4:
+      return 13;
+    default:
+      break;
+  }
+  // m >= 5: the borrowed-line decomposition costs 12(m-3)+2; without a
+  // spare line fall back to the exponential construction 2^m - 3.
+  if (free_lines >= 1) return 12LL * (gate_size - 3) + 2;
+  if (gate_size >= 62) throw std::invalid_argument("cost overflow");
+  return (1LL << gate_size) - 3;
+}
+
+long long quantum_cost(const Circuit& c) {
+  long long total = 0;
+  for (const Gate& g : c.gates()) {
+    total += toffoli_cost(g.size(), c.num_lines() - g.size());
+  }
+  return total;
+}
+
+}  // namespace rmrls

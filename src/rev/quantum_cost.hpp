@@ -1,0 +1,31 @@
+/// \file quantum_cost.hpp
+/// \brief Quantum-cost model for generalized Toffoli cascades.
+///
+/// Implements the cost table the paper takes from Maslov's benchmark page
+/// [13] (derived from the Barenco et al. constructions [12]):
+///
+///   * NOT (TOF1) and CNOT (TOF2) cost 1;
+///   * TOF3 costs 5; TOF4 costs 13;
+///   * an m-bit Toffoli with m >= 5 costs 2^m - 3 when no unused line is
+///     available, and 12(m-3) + 2 when at least one line of the circuit is
+///     neither a control nor the target (the gate can borrow it).
+///
+/// Anchor points from the paper's Table IV validate the mapping: graycode6
+/// (five CNOTs) has cost 5 and rd32 (three CNOTs + one TOF3) has cost 8.
+
+#pragma once
+
+#include "rev/circuit.hpp"
+#include "rev/gate.hpp"
+
+namespace rmrls {
+
+/// Cost of one m-bit Toffoli gate on a circuit with `free_lines` lines that
+/// the gate does not touch. Throws for m < 1.
+[[nodiscard]] long long toffoli_cost(int gate_size, int free_lines);
+
+/// Sum of gate costs; each gate of size m on an L-line circuit has
+/// `L - m` free lines.
+[[nodiscard]] long long quantum_cost(const Circuit& c);
+
+}  // namespace rmrls

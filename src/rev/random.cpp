@@ -1,0 +1,49 @@
+#include "rev/random.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace rmrls {
+
+TruthTable random_reversible_function(int num_vars, std::mt19937_64& rng) {
+  if (num_vars < 1 || num_vars > 24) {
+    throw std::invalid_argument("num_vars out of range for explicit tables");
+  }
+  std::vector<std::uint64_t> image(std::uint64_t{1} << num_vars);
+  std::iota(image.begin(), image.end(), 0);
+  std::shuffle(image.begin(), image.end(), rng);
+  return TruthTable(std::move(image));
+}
+
+Circuit random_circuit(int num_lines, int gate_count, GateLibrary lib,
+                       std::mt19937_64& rng) {
+  if (num_lines < 1 || num_lines > kMaxVariables) {
+    throw std::invalid_argument("num_lines out of range");
+  }
+  if (lib == GateLibrary::kNCTS) {
+    throw std::invalid_argument("SWAP gates are not Toffoli cascades");
+  }
+  Circuit c(num_lines);
+  std::uniform_int_distribution<int> target_dist(0, num_lines - 1);
+  const int max_controls =
+      lib == GateLibrary::kNCT ? std::min(2, num_lines - 1) : num_lines - 1;
+  std::uniform_int_distribution<int> ctrl_count_dist(0, max_controls);
+  for (int i = 0; i < gate_count; ++i) {
+    const int target = target_dist(rng);
+    const int num_controls = ctrl_count_dist(rng);
+    // Choose `num_controls` distinct lines other than the target.
+    std::vector<int> pool;
+    pool.reserve(num_lines - 1);
+    for (int v = 0; v < num_lines; ++v) {
+      if (v != target) pool.push_back(v);
+    }
+    std::shuffle(pool.begin(), pool.end(), rng);
+    Cube controls = kConstOne;
+    for (int j = 0; j < num_controls; ++j) controls |= cube_of_var(pool[j]);
+    c.append(Gate(controls, target));
+  }
+  return c;
+}
+
+}  // namespace rmrls

@@ -1,0 +1,36 @@
+/// \file random.hpp
+/// \brief Seeded generators for random reversible functions and circuits.
+///
+/// Section V of the paper evaluates on (a) uniformly random reversible
+/// functions of 4-5 variables and (b) random Toffoli cascades of 6-16
+/// variables with a bounded gate count, later re-synthesized from their
+/// simulated specification. Both generators live here; all randomness is
+/// an explicit std::mt19937_64 so every experiment is reproducible.
+
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "rev/circuit.hpp"
+#include "rev/truth_table.hpp"
+
+namespace rmrls {
+
+/// Gate libraries of the paper. GT: generalized Toffoli gates of any width.
+/// NCT: NOT, CNOT, and the 3-bit Toffoli only. NCTS additionally allows
+/// SWAP (used only by the optimal-baseline comparisons of Table I).
+enum class GateLibrary { kGT, kNCT, kNCTS };
+
+/// A uniformly random permutation of {0..2^n-1} (Fisher-Yates).
+[[nodiscard]] TruthTable random_reversible_function(int num_vars,
+                                                    std::mt19937_64& rng);
+
+/// A random cascade per Section V-E: `gate_count` gates, each drawn from
+/// `lib` with a uniformly random target; for GT the number of controls is
+/// uniform in [0, num_lines-1], for NCT it is uniform in {0, 1, 2}. Control
+/// lines are a uniform random subset of the remaining lines.
+[[nodiscard]] Circuit random_circuit(int num_lines, int gate_count,
+                                     GateLibrary lib, std::mt19937_64& rng);
+
+}  // namespace rmrls

@@ -1,0 +1,58 @@
+#include "rev/structural.hpp"
+
+#include <stdexcept>
+
+namespace rmrls {
+
+Pprm graycode_pprm(int num_vars) {
+  if (num_vars < 1 || num_vars > kMaxVariables) {
+    throw std::invalid_argument("num_vars out of range");
+  }
+  Pprm p(num_vars);
+  for (int i = 0; i < num_vars; ++i) {
+    p.output(i).toggle(cube_of_var(i));
+    if (i + 1 < num_vars) p.output(i).toggle(cube_of_var(i + 1));
+  }
+  return p;
+}
+
+std::uint64_t graycode_eval(int num_vars, std::uint64_t x) {
+  const std::uint64_t mask = num_vars == kMaxVariables
+                                 ? ~std::uint64_t{0}
+                                 : (std::uint64_t{1} << num_vars) - 1;
+  return (x ^ (x >> 1)) & mask;
+}
+
+Circuit shifter_reference_circuit(int data_lines) {
+  if (data_lines < 4 || data_lines + 2 > kMaxVariables) {
+    throw std::invalid_argument("data_lines out of range");
+  }
+  Circuit c(data_lines + 2);
+  // Controlled +1: data bit i flips when s0 and all lower data bits are 1.
+  // Applied top-down so lower bits are read before being modified.
+  for (int i = data_lines - 1; i >= 0; --i) {
+    Cube controls = cube_of_var(0);  // s0
+    for (int j = 0; j < i; ++j) controls |= cube_of_var(2 + j);
+    c.append(Gate(controls, 2 + i));
+  }
+  // Controlled +2: data bit i >= 1 flips when s1 and data bits 1..i-1 are 1.
+  for (int i = data_lines - 1; i >= 1; --i) {
+    Cube controls = cube_of_var(1);  // s1
+    for (int j = 1; j < i; ++j) controls |= cube_of_var(2 + j);
+    c.append(Gate(controls, 2 + i));
+  }
+  return c;
+}
+
+Pprm shifter_pprm(int data_lines) {
+  return shifter_reference_circuit(data_lines).to_pprm();
+}
+
+std::uint64_t shifter_eval(int data_lines, std::uint64_t x) {
+  const std::uint64_t shift = x & 3;
+  const std::uint64_t data = x >> 2;
+  const std::uint64_t mask = (std::uint64_t{1} << data_lines) - 1;
+  return (((data + shift) & mask) << 2) | shift;
+}
+
+}  // namespace rmrls

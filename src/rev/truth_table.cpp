@@ -1,0 +1,82 @@
+#include "rev/truth_table.hpp"
+
+#include <bit>
+#include <sstream>
+#include <stdexcept>
+
+namespace rmrls {
+
+TruthTable::TruthTable(std::vector<std::uint64_t> image)
+    : image_(std::move(image)) {
+  const std::size_t n = image_.size();
+  if (n == 0 || !std::has_single_bit(n)) {
+    throw std::invalid_argument("truth table size must be a power of two");
+  }
+  num_vars_ = std::countr_zero(n);
+  std::vector<bool> seen(n, false);
+  for (std::uint64_t y : image_) {
+    if (y >= n || seen[y]) {
+      throw std::invalid_argument("image vector is not a permutation");
+    }
+    seen[y] = true;
+  }
+}
+
+TruthTable TruthTable::identity(int num_vars) {
+  std::vector<std::uint64_t> image(std::uint64_t{1} << num_vars);
+  for (std::uint64_t x = 0; x < image.size(); ++x) image[x] = x;
+  return TruthTable(std::move(image));
+}
+
+TruthTable TruthTable::then(const TruthTable& g) const {
+  if (g.num_vars_ != num_vars_) {
+    throw std::invalid_argument("composing tables of different width");
+  }
+  std::vector<std::uint64_t> image(image_.size());
+  for (std::uint64_t x = 0; x < image_.size(); ++x) {
+    image[x] = g.image_[image_[x]];
+  }
+  return TruthTable(std::move(image));
+}
+
+TruthTable TruthTable::inverse() const {
+  std::vector<std::uint64_t> image(image_.size());
+  for (std::uint64_t x = 0; x < image_.size(); ++x) image[image_[x]] = x;
+  return TruthTable(std::move(image));
+}
+
+bool TruthTable::is_identity() const {
+  for (std::uint64_t x = 0; x < image_.size(); ++x) {
+    if (image_[x] != x) return false;
+  }
+  return true;
+}
+
+bool TruthTable::is_even() const {
+  // Parity = (number of elements - number of cycles) mod 2.
+  std::vector<bool> visited(image_.size(), false);
+  std::uint64_t transpositions = 0;
+  for (std::uint64_t x = 0; x < image_.size(); ++x) {
+    if (visited[x]) continue;
+    std::uint64_t len = 0;
+    for (std::uint64_t y = x; !visited[y]; y = image_[y]) {
+      visited[y] = true;
+      ++len;
+    }
+    transpositions += len - 1;
+  }
+  return transpositions % 2 == 0;
+}
+
+std::string TruthTable::to_string() const {
+  std::ostringstream os;
+  os << "{";
+  for (std::uint64_t x = 0; x < image_.size(); ++x) {
+    if (x != 0) os << ", ";
+    os << image_[x];
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace rmrls

@@ -1,0 +1,68 @@
+/// \file truth_table.hpp
+/// \brief Reversible functions as explicit permutations of {0, ..., 2^n - 1}.
+///
+/// The paper specifies reversible functions either as truth tables or as
+/// permutations on the integers 0..2^n-1 (Section II-A); this class is the
+/// permutation form. It is the exact, exhaustively-checkable representation
+/// used for every function small enough to enumerate (n <= ~20); wider
+/// functions use structural PPRMs instead (see structural.hpp).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rmrls {
+
+/// An n-line reversible function stored as the image vector
+/// `table[x] = f(x)`. Construction validates bijectivity.
+class TruthTable {
+ public:
+  TruthTable() = default;
+
+  /// Builds from an image vector; `image.size()` must be a power of two and
+  /// the vector must be a permutation of `0..image.size()-1`.
+  /// Throws std::invalid_argument otherwise.
+  explicit TruthTable(std::vector<std::uint64_t> image);
+
+  /// The identity function on `n` lines.
+  [[nodiscard]] static TruthTable identity(int num_vars);
+
+  [[nodiscard]] int num_vars() const { return num_vars_; }
+  [[nodiscard]] std::uint64_t size() const { return image_.size(); }
+
+  [[nodiscard]] std::uint64_t apply(std::uint64_t x) const {
+    return image_[x];
+  }
+  [[nodiscard]] std::uint64_t operator()(std::uint64_t x) const {
+    return image_[x];
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& image() const {
+    return image_;
+  }
+
+  /// Functional composition: `(this->then(g))(x) == g(this(x))`.
+  [[nodiscard]] TruthTable then(const TruthTable& g) const;
+
+  /// The inverse permutation.
+  [[nodiscard]] TruthTable inverse() const;
+
+  [[nodiscard]] bool is_identity() const;
+
+  /// Permutation parity: true if the permutation is even. Relevant to the
+  /// synthesis-theory results of Shende et al. [16].
+  [[nodiscard]] bool is_even() const;
+
+  /// Renders as the paper's permutation notation, e.g. "{1, 0, 7, 2, ...}".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const TruthTable&, const TruthTable&) = default;
+
+ private:
+  std::vector<std::uint64_t> image_;
+  int num_vars_ = 0;
+};
+
+}  // namespace rmrls

@@ -1,0 +1,101 @@
+#include "templates/fredkinize.hpp"
+
+#include <bit>
+#include <optional>
+#include <vector>
+
+namespace rmrls {
+
+namespace {
+
+/// Working item: an original Toffoli gate or an already-extracted Fredkin.
+/// Extracted Fredkins act as movement barriers (conservative but simple).
+struct Item {
+  bool is_fredkin = false;
+  Gate toffoli;
+  MixedGate fredkin;
+};
+
+/// A found triple: outer gates at `i` and `k`, inner at `j`.
+struct Triple {
+  std::size_t i = 0, j = 0, k = 0;
+  MixedGate replacement;
+};
+
+std::optional<Triple> find_triple(const std::vector<Item>& items,
+                                  std::size_t i) {
+  if (items[i].is_fredkin) return std::nullopt;
+  const Gate& outer = items[i].toffoli;
+  // The outer gate TOF(C+{y}; x): every control y is a possible swap
+  // partner for the target x.
+  Cube candidates = outer.controls;
+  while (candidates) {
+    const int y = std::countr_zero(candidates);
+    candidates &= candidates - 1;
+    const Cube common = outer.controls & ~cube_of_var(y);
+    const Gate inner(common | cube_of_var(outer.target), y);
+    // Move right from i looking for the inner gate; everything passed
+    // must commute with the outer gate.
+    std::size_t j = i + 1;
+    while (j < items.size() && !items[j].is_fredkin &&
+           !(items[j].toffoli == inner) &&
+           items[j].toffoli.commutes_with(outer)) {
+      ++j;
+    }
+    if (j >= items.size() || items[j].is_fredkin ||
+        !(items[j].toffoli == inner)) {
+      continue;
+    }
+    // Move right from j looking for the closing outer gate; everything
+    // passed must commute with it so it can slide left to the block.
+    std::size_t k = j + 1;
+    while (k < items.size() && !items[k].is_fredkin &&
+           !(items[k].toffoli == outer) &&
+           items[k].toffoli.commutes_with(outer)) {
+      ++k;
+    }
+    if (k >= items.size() || items[k].is_fredkin ||
+        !(items[k].toffoli == outer)) {
+      continue;
+    }
+    return Triple{i, j, k, MixedGate::fredkin(common, outer.target, y)};
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+FredkinizeResult fredkinize(const Circuit& c) {
+  std::vector<Item> items;
+  items.reserve(static_cast<std::size_t>(c.gate_count()));
+  for (const Gate& g : c.gates()) items.push_back({false, g, MixedGate{}});
+
+  FredkinizeResult result;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      const std::optional<Triple> t = find_triple(items, i);
+      if (!t) continue;
+      // Replace the inner position with the Fredkin gate and drop the two
+      // outer gates (erase the later index first).
+      items[t->j] = Item{true, Gate{}, t->replacement};
+      items.erase(items.begin() + static_cast<std::ptrdiff_t>(t->k));
+      items.erase(items.begin() + static_cast<std::ptrdiff_t>(t->i));
+      ++result.fredkin_gates;
+      result.gates_saved += 2;
+      changed = true;
+      break;  // indices shifted; rescan
+    }
+  }
+
+  MixedCircuit out(c.num_lines());
+  for (const Item& item : items) {
+    out.append(item.is_fredkin ? item.fredkin
+                               : MixedGate::toffoli(item.toffoli));
+  }
+  result.circuit = std::move(out);
+  return result;
+}
+
+}  // namespace rmrls

@@ -1,0 +1,29 @@
+/// \file fredkinize.hpp
+/// \brief Fredkin extraction from Toffoli cascades (the paper's proposed
+/// future work, Section VI).
+///
+/// Scans a synthesized cascade for the controlled-swap triple
+/// `TOF(C+{y}; x) TOF(C+{x}; y) TOF(C+{y}; x)` — in either orientation —
+/// and replaces it with a single generalized Fredkin gate. The triple is
+/// matched through commuting neighbours (the moving rule), so patterns
+/// separated by independent gates are still found. The result realizes
+/// the same permutation with fewer gates and never costs more (tested
+/// invariants).
+
+#pragma once
+
+#include "rev/circuit.hpp"
+#include "rev/fredkin.hpp"
+
+namespace rmrls {
+
+struct FredkinizeResult {
+  MixedCircuit circuit;
+  int fredkin_gates = 0;   ///< how many triples were replaced
+  int gates_saved = 0;     ///< Toffoli count reduction (2 per replacement)
+};
+
+/// Extracts Fredkin gates from `c`.
+[[nodiscard]] FredkinizeResult fredkinize(const Circuit& c);
+
+}  // namespace rmrls

@@ -1,0 +1,48 @@
+#include "templates/simplify.hpp"
+
+#include <vector>
+
+namespace rmrls {
+
+namespace {
+
+/// Tries to cancel gates[i] against a later equal gate reachable through
+/// commuting neighbours. On success removes both and returns true.
+bool cancel_forward(std::vector<Gate>& gates, std::size_t i) {
+  for (std::size_t j = i + 1; j < gates.size(); ++j) {
+    if (gates[j] == gates[i]) {
+      gates.erase(gates.begin() + static_cast<std::ptrdiff_t>(j));
+      gates.erase(gates.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+    if (!gates[i].commutes_with(gates[j])) return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+SimplifyResult simplify_templates(const Circuit& c) {
+  std::vector<Gate> gates = c.gates();
+  SimplifyResult result;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++result.passes;
+    for (std::size_t i = 0; i < gates.size();) {
+      if (cancel_forward(gates, i)) {
+        result.removed_gates += 2;
+        changed = true;
+        // Rescan from the previous position: the cancellation may have
+        // brought a new pair together.
+        i = i == 0 ? 0 : i - 1;
+      } else {
+        ++i;
+      }
+    }
+  }
+  result.circuit = Circuit(c.num_lines(), std::move(gates));
+  return result;
+}
+
+}  // namespace rmrls

@@ -1,0 +1,198 @@
+// Tests for the benchmark registry: every named function of Section V.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "bench_suite/functions.hpp"
+#include "bench_suite/registry.hpp"
+#include "rev/pprm_transform.hpp"
+#include "rev/structural.hpp"
+
+namespace rmrls {
+namespace {
+
+TEST(BenchSuite, AllNamesResolveAndValidate) {
+  for (const std::string& name : suite::benchmark_names()) {
+    const suite::Benchmark b = suite::get_benchmark(name);
+    EXPECT_EQ(b.info.name, name);
+    EXPECT_EQ(b.pprm.num_vars(), b.info.lines) << name;
+    EXPECT_EQ(b.info.real_inputs + b.info.garbage_inputs, b.info.lines)
+        << name;
+    if (b.table) {
+      EXPECT_EQ(b.table->num_vars(), b.info.lines) << name;
+      EXPECT_EQ(pprm_of_truth_table(*b.table), b.pprm) << name;
+    }
+  }
+}
+
+TEST(BenchSuite, UnknownNameThrows) {
+  EXPECT_THROW(suite::get_benchmark("nope"), std::invalid_argument);
+}
+
+TEST(BenchSuite, TableIVRowCountAndOrder) {
+  const auto names = suite::benchmark_names();
+  EXPECT_EQ(names.size(), 29u);
+  EXPECT_EQ(names.front(), "2of5");
+  EXPECT_EQ(names.back(), "mod64adder");
+}
+
+TEST(BenchSuite, PaperReferenceNumbersArePresent) {
+  const suite::Benchmark rd53 = suite::get_benchmark("rd53");
+  EXPECT_EQ(rd53.info.paper_gates, 13);
+  EXPECT_EQ(rd53.info.paper_cost, 116);
+  EXPECT_EQ(rd53.info.best_gates, 16);
+  EXPECT_EQ(rd53.info.best_cost, 75);
+  const suite::Benchmark alu = suite::get_benchmark("alu");
+  EXPECT_FALSE(alu.info.best_gates.has_value());
+}
+
+TEST(Functions, Fig1IsThePaperSpec) {
+  EXPECT_EQ(suite::fig1().to_string(), "{1, 0, 7, 2, 3, 4, 5, 6}");
+}
+
+TEST(Functions, ExamplesMatchPrintedSpecs) {
+  EXPECT_EQ(suite::example(2).apply(0), 7u);  // shift right wraps 0 -> 7
+  EXPECT_EQ(suite::example(3), TruthTable({0, 1, 2, 3, 4, 6, 5, 7}));
+  EXPECT_EQ(suite::example(8).apply(1), 7u);  // adder row 1
+  EXPECT_THROW(suite::example(9), std::invalid_argument);
+  EXPECT_THROW(suite::example(0), std::invalid_argument);
+}
+
+TEST(Functions, Rd53CountsOnes) {
+  // rd53 (recovered from the paper's printed cascade) encodes the number
+  // of ones of the five inputs on lines e, f, g (e = least significant)
+  // whenever the two constant lines are 0.
+  const TruthTable t = suite::rd53();
+  for (std::uint64_t x = 0; x < 32; ++x) {
+    const auto ones = static_cast<std::uint64_t>(std::popcount(x));
+    EXPECT_EQ(t.apply(x) >> 4, ones) << "x=" << x;
+  }
+}
+
+TEST(Functions, Rd32CountsOnes) {
+  const TruthTable t = suite::rd32();
+  for (std::uint64_t x = 0; x < 8; ++x) {
+    EXPECT_EQ(t.apply(x) & 0b11, static_cast<std::uint64_t>(std::popcount(x)));
+  }
+}
+
+TEST(Functions, Xor5ComputesParity) {
+  const TruthTable t = suite::xor5();
+  for (std::uint64_t x = 0; x < 32; ++x) {
+    EXPECT_EQ(t.apply(x) & 1, static_cast<std::uint64_t>(std::popcount(x) & 1));
+    EXPECT_EQ(t.apply(x) >> 1, x >> 1);  // other lines pass through
+  }
+}
+
+TEST(Functions, Mod5CheckFlagsMultiplesOfFive) {
+  const TruthTable t = suite::mod5_check(4);
+  for (std::uint64_t x = 0; x < 32; ++x) {
+    const std::uint64_t v = x & 0xf;
+    const std::uint64_t flag_in = x >> 4;
+    const std::uint64_t flag_out = t.apply(x) >> 4;
+    EXPECT_EQ(flag_out, flag_in ^ (v % 5 == 0 ? 1u : 0u));
+  }
+}
+
+TEST(Functions, HammingDecodersAreInvolutiveOnCodewords) {
+  // A clean codeword has syndrome 0 and decodes to its data bits.
+  const TruthTable h7 = suite::ham7();
+  // Build codewords by inverting the decode map: y with syndrome 0.
+  for (std::uint64_t y = 0; y < 16; ++y) {
+    const std::uint64_t x = h7.inverse().apply(y);  // codeword for data y
+    EXPECT_EQ(h7.apply(x), y);
+    // Flipping any bit of the codeword must still decode to data y.
+    for (int bit = 0; bit < 7; ++bit) {
+      const std::uint64_t corrupted = x ^ (std::uint64_t{1} << bit);
+      EXPECT_EQ(h7.apply(corrupted) & 0xf, y) << "bit " << bit;
+    }
+  }
+}
+
+TEST(Functions, Ham3CorrectsSingleBitErrors) {
+  const TruthTable h3 = suite::ham3();
+  EXPECT_EQ(h3.apply(0b000) & 1, 0u);
+  EXPECT_EQ(h3.apply(0b111) & 1, 1u);
+  // One flip away from a codeword still yields the codeword's data bit.
+  for (std::uint64_t code : {0b000u, 0b111u}) {
+    for (int bit = 0; bit < 3; ++bit) {
+      EXPECT_EQ(h3.apply(code ^ (1u << bit)) & 1, code & 1);
+    }
+  }
+}
+
+TEST(Functions, HwbRotatesByWeight) {
+  const TruthTable t = suite::hwb(4);
+  EXPECT_EQ(t.apply(0b0000), 0b0000u);
+  EXPECT_EQ(t.apply(0b1111), 0b1111u);
+  EXPECT_EQ(t.apply(0b0001), 0b0010u);  // weight 1: rotate left by 1
+  EXPECT_EQ(t.apply(0b0011), 0b1100u);  // weight 2
+}
+
+TEST(Functions, ParityFamilies) {
+  const TruthTable odd = suite::six_one135();
+  const TruthTable even = suite::six_one0246();
+  for (std::uint64_t x = 0; x < 64; ++x) {
+    EXPECT_EQ(odd.apply(x) & 1, static_cast<std::uint64_t>(std::popcount(x) & 1));
+    EXPECT_EQ(even.apply(x) & 1,
+              static_cast<std::uint64_t>((std::popcount(x) & 1) ^ 1));
+  }
+}
+
+TEST(Functions, MajorityEmbeddingsRestrictCorrectly) {
+  const TruthTable m3 = suite::majority3();
+  for (std::uint64_t x = 0; x < 8; ++x) {
+    EXPECT_EQ(m3.apply(x) & 1,
+              static_cast<std::uint64_t>(std::popcount(x) >= 2));
+  }
+  // majority5 uses the paper's printed permutation; spot-check a row the
+  // table lists: input 7 (three ones) -> 27.
+  EXPECT_EQ(suite::majority5().apply(7), 27u);
+}
+
+TEST(Functions, ModAdderArithmetic) {
+  const TruthTable add5 = suite::mod_adder(3, 5);
+  for (std::uint64_t a = 0; a < 5; ++a) {
+    for (std::uint64_t b = 0; b < 5; ++b) {
+      const std::uint64_t y = add5.apply(a | (b << 3));
+      EXPECT_EQ(y & 7, a);
+      EXPECT_EQ(y >> 3, (a + b) % 5);
+    }
+  }
+  // Out-of-domain rows are identity.
+  EXPECT_EQ(add5.apply(6 | (7u << 3)), 6 | (7u << 3));
+  EXPECT_THROW(suite::mod_adder(3, 9), std::invalid_argument);
+}
+
+TEST(BenchSuite, StructuralEntriesMatchTheirGenerators) {
+  EXPECT_EQ(suite::get_benchmark("graycode20").pprm, graycode_pprm(20));
+  EXPECT_EQ(suite::get_benchmark("shift28").pprm, shifter_pprm(28));
+  // shift10 exposes both forms; they must agree.
+  const suite::Benchmark s10 = suite::get_benchmark("shift10");
+  ASSERT_TRUE(s10.table.has_value());
+  EXPECT_EQ(pprm_of_truth_table(*s10.table), s10.pprm);
+}
+
+TEST(Functions, SymmetricPredicates) {
+  const TruthTable s = suite::sym(6, 2, 4);
+  for (std::uint64_t x = 0; x < 64; ++x) {
+    const int ones = std::popcount(x);
+    EXPECT_EQ(s.apply(x) & 1,
+              static_cast<std::uint64_t>(ones >= 2 && ones <= 4));
+  }
+  EXPECT_THROW(suite::sym(6, 4, 2), std::invalid_argument);
+  EXPECT_THROW(suite::sym(1, 0, 1), std::invalid_argument);
+}
+
+TEST(Functions, Decod24OneHotRows) {
+  // Example 11: a 2:4 decoder on the zero-constant rows.
+  const TruthTable t = suite::decod24();
+  EXPECT_EQ(t.apply(0), 1u);
+  EXPECT_EQ(t.apply(1), 2u);
+  EXPECT_EQ(t.apply(2), 4u);
+  EXPECT_EQ(t.apply(3), 8u);
+}
+
+}  // namespace
+}  // namespace rmrls

@@ -1,0 +1,83 @@
+// Tests for the circuit-statistics module.
+
+#include "rev/circuit_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "rev/random.hpp"
+
+namespace rmrls {
+namespace {
+
+TEST(CircuitStats, EmptyCircuit) {
+  const CircuitStats s = analyze(Circuit(5));
+  EXPECT_EQ(s.gates, 0);
+  EXPECT_EQ(s.depth, 0);
+  EXPECT_EQ(s.used_lines, 0);
+  EXPECT_TRUE(s.fits_nct);
+}
+
+TEST(CircuitStats, HistogramAndLibraryClassification) {
+  Circuit c(4);
+  c.append(Gate(kConstOne, 0));                                   // TOF1
+  c.append(Gate(cube_of_var(1), 0));                              // TOF2
+  c.append(Gate(cube_of_var(1) | cube_of_var(2), 0));             // TOF3
+  const CircuitStats nct = analyze(c);
+  EXPECT_TRUE(nct.fits_nct);
+  EXPECT_EQ(nct.size_histogram[1], 1);
+  EXPECT_EQ(nct.size_histogram[2], 1);
+  EXPECT_EQ(nct.size_histogram[3], 1);
+  EXPECT_EQ(nct.controls_total, 0 + 1 + 2);
+  c.append(Gate(cube_of_var(1) | cube_of_var(2) | cube_of_var(3), 0));
+  EXPECT_FALSE(analyze(c).fits_nct);
+  EXPECT_EQ(analyze(c).max_gate_size, 4);
+}
+
+TEST(CircuitStats, UsedLinesCountsTouchedOnly) {
+  Circuit c(6);
+  c.append(Gate(cube_of_var(1), 0));
+  c.append(Gate(cube_of_var(1), 4));
+  EXPECT_EQ(analyze(c).used_lines, 3);  // lines 0, 1, 4
+}
+
+TEST(CircuitStats, DepthPacksCommutingGates) {
+  Circuit c(4);
+  // Two gates sharing only a control commute: depth 1.
+  c.append(Gate(cube_of_var(0), 1));
+  c.append(Gate(cube_of_var(0), 2));
+  EXPECT_EQ(analyze(c).depth, 1);
+  // A gate reading line 1 (written above) must wait: depth 2.
+  c.append(Gate(cube_of_var(1), 3));
+  EXPECT_EQ(analyze(c).depth, 2);
+}
+
+TEST(CircuitStats, DepthOfSequentialChain) {
+  // A ripple chain where every gate depends on the previous target.
+  Circuit c(5);
+  for (int i = 0; i + 1 < 5; ++i) c.append(Gate(cube_of_var(i), i + 1));
+  EXPECT_EQ(analyze(c).depth, 4);
+}
+
+TEST(CircuitStats, DepthNeverExceedsGateCount) {
+  std::mt19937_64 rng(95);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Circuit c = random_circuit(6, 15, GateLibrary::kGT, rng);
+    const CircuitStats s = analyze(c);
+    EXPECT_LE(s.depth, s.gates);
+    EXPECT_GE(s.depth, 1);
+  }
+}
+
+TEST(CircuitStats, RenderingMentionsTheEssentials) {
+  Circuit c(3);
+  c.append(Gate(cube_of_var(0) | cube_of_var(1), 2));
+  const std::string text = stats_to_string(analyze(c));
+  EXPECT_NE(text.find("1 gates"), std::string::npos);
+  EXPECT_NE(text.find("NCT"), std::string::npos);
+  EXPECT_NE(text.find("TOF3 x1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rmrls

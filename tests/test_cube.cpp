@@ -1,0 +1,53 @@
+// Tests for the cube encoding of positive-polarity product terms.
+
+#include "rev/cube.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rmrls {
+namespace {
+
+TEST(Cube, ConstantOneHasNoLiterals) {
+  EXPECT_EQ(literal_count(kConstOne), 0);
+  EXPECT_EQ(cube_to_string(kConstOne), "1");
+}
+
+TEST(Cube, SingleVariable) {
+  const Cube a = cube_of_var(0);
+  EXPECT_EQ(literal_count(a), 1);
+  EXPECT_TRUE(cube_has_var(a, 0));
+  EXPECT_FALSE(cube_has_var(a, 1));
+  EXPECT_EQ(cube_to_string(a, 3), "a");
+}
+
+TEST(Cube, ProductRendering) {
+  const Cube abc = cube_of_var(0) | cube_of_var(1) | cube_of_var(2);
+  EXPECT_EQ(cube_to_string(abc, 3), "abc");
+  const Cube ac = cube_of_var(0) | cube_of_var(2);
+  EXPECT_EQ(cube_to_string(ac, 3), "ac");
+}
+
+TEST(Cube, WideVariableNames) {
+  const Cube c = cube_of_var(0) | cube_of_var(30);
+  EXPECT_EQ(cube_to_string(c, 31), "x0.x30");
+}
+
+TEST(Cube, HighestVariableSupported) {
+  const Cube top = cube_of_var(kMaxVariables - 1);
+  EXPECT_TRUE(cube_has_var(top, kMaxVariables - 1));
+  EXPECT_EQ(literal_count(top), 1);
+}
+
+TEST(Cube, EvalIsConjunction) {
+  const Cube ab = cube_of_var(0) | cube_of_var(1);
+  EXPECT_TRUE(cube_eval(ab, 0b011));
+  EXPECT_TRUE(cube_eval(ab, 0b111));
+  EXPECT_FALSE(cube_eval(ab, 0b001));
+  EXPECT_FALSE(cube_eval(ab, 0b100));
+  // The constant term is true everywhere.
+  EXPECT_TRUE(cube_eval(kConstOne, 0));
+  EXPECT_TRUE(cube_eval(kConstOne, ~std::uint64_t{0}));
+}
+
+}  // namespace
+}  // namespace rmrls

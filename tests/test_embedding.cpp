@@ -1,0 +1,112 @@
+// Tests for the irreversible -> reversible embedding of Section II-A.
+
+#include "rev/embedding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+namespace rmrls {
+namespace {
+
+IrreversibleSpec augmented_adder() {
+  // The paper's Fig. 2(a): carry, sum, propagate of (a, b, c).
+  IrreversibleSpec spec;
+  spec.num_inputs = 3;
+  spec.num_outputs = 3;
+  spec.outputs.resize(8);
+  for (std::uint64_t x = 0; x < 8; ++x) {
+    const int a = static_cast<int>(x & 1);
+    const int b = static_cast<int>((x >> 1) & 1);
+    const int c = static_cast<int>((x >> 2) & 1);
+    const int carry = (a + b + c) >= 2;
+    const int sum = (a + b + c) & 1;
+    const int propagate = a ^ b;
+    spec.outputs[x] = static_cast<std::uint64_t>(carry | (sum << 1) |
+                                                 (propagate << 2));
+  }
+  return spec;
+}
+
+TEST(Embedding, AdderNeedsOneGarbageLine) {
+  // Fig. 2(b): one garbage output and one constant input, 4 lines total.
+  const Embedding e = embed(augmented_adder());
+  EXPECT_EQ(e.lines(), 4);
+  EXPECT_EQ(e.real_inputs, 3);
+  EXPECT_EQ(e.constant_inputs, 1);
+  EXPECT_EQ(e.real_outputs, 3);
+  EXPECT_EQ(e.garbage_outputs, 1);
+}
+
+TEST(Embedding, RestrictionReproducesTheFunction) {
+  const IrreversibleSpec spec = augmented_adder();
+  const Embedding e = embed(spec);
+  const std::uint64_t out_mask = (1u << spec.num_outputs) - 1;
+  for (std::uint64_t x = 0; x < 8; ++x) {
+    EXPECT_EQ(e.table.apply(x) & out_mask, spec.outputs[x]);
+  }
+}
+
+TEST(Embedding, GarbageWidthIsCeilLog2OfMultiplicity) {
+  // A 2-input function whose output is constant: multiplicity 4 -> 2
+  // garbage lines.
+  IrreversibleSpec spec;
+  spec.num_inputs = 2;
+  spec.num_outputs = 1;
+  spec.outputs = {1, 1, 1, 1};
+  const Embedding e = embed(spec);
+  EXPECT_EQ(e.garbage_outputs, 2);
+  EXPECT_EQ(e.lines(), 3);
+}
+
+TEST(Embedding, InjectiveFunctionNeedsNoGarbage) {
+  IrreversibleSpec spec;
+  spec.num_inputs = 2;
+  spec.num_outputs = 2;
+  spec.outputs = {3, 2, 0, 1};
+  const Embedding e = embed(spec);
+  EXPECT_EQ(e.garbage_outputs, 0);
+  EXPECT_EQ(e.constant_inputs, 0);
+  EXPECT_EQ(e.lines(), 2);
+}
+
+TEST(Embedding, OutputWiderThanInput) {
+  // decod24-like: 2 inputs, 4 outputs (one-hot) -> inputs padded.
+  IrreversibleSpec spec;
+  spec.num_inputs = 2;
+  spec.num_outputs = 4;
+  spec.outputs = {1, 2, 4, 8};
+  const Embedding e = embed(spec);
+  EXPECT_EQ(e.lines(), 4);
+  EXPECT_EQ(e.constant_inputs, 2);
+  for (std::uint64_t x = 0; x < 4; ++x) {
+    EXPECT_EQ(e.table.apply(x) & 0xf, spec.outputs[x]);
+  }
+}
+
+TEST(Embedding, ResultIsAlwaysAPermutation) {
+  // TruthTable's constructor validates; exercise a lossy majority too.
+  IrreversibleSpec spec;
+  spec.num_inputs = 3;
+  spec.num_outputs = 1;
+  spec.outputs.resize(8);
+  for (std::uint64_t x = 0; x < 8; ++x) {
+    spec.outputs[x] = std::popcount(x) >= 2 ? 1 : 0;
+  }
+  EXPECT_NO_THROW(embed(spec));
+}
+
+TEST(Embedding, RejectsMalformedSpecs) {
+  IrreversibleSpec spec;
+  spec.num_inputs = 2;
+  spec.num_outputs = 1;
+  spec.outputs = {0, 1};  // wrong size
+  EXPECT_THROW(embed(spec), std::invalid_argument);
+  spec.outputs = {0, 1, 2, 0};  // output wider than declared
+  EXPECT_THROW(embed(spec), std::invalid_argument);
+  spec.num_inputs = 0;
+  EXPECT_THROW(embed(spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rmrls

@@ -1,0 +1,137 @@
+// Tests for the don't-care / garbage-assignment search (the paper's
+// Section VI future work).
+
+#include "rev/embedding_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+namespace rmrls {
+namespace {
+
+IrreversibleSpec adder_spec() {
+  IrreversibleSpec spec;
+  spec.num_inputs = 3;
+  spec.num_outputs = 3;
+  spec.outputs.resize(8);
+  for (std::uint64_t x = 0; x < 8; ++x) {
+    const int a = static_cast<int>(x & 1);
+    const int b = static_cast<int>((x >> 1) & 1);
+    const int c = static_cast<int>((x >> 2) & 1);
+    const int ones = a + b + c;
+    spec.outputs[x] = static_cast<std::uint64_t>((ones >= 2) |
+                                                 ((ones & 1) << 1) |
+                                                 ((a ^ b) << 2));
+  }
+  return spec;
+}
+
+IrreversibleSpec majority_spec(int n) {
+  IrreversibleSpec spec;
+  spec.num_inputs = n;
+  spec.num_outputs = 1;
+  spec.outputs.resize(std::uint64_t{1} << n);
+  for (std::uint64_t x = 0; x < spec.outputs.size(); ++x) {
+    spec.outputs[x] = std::popcount(x) > n / 2 ? 1 : 0;
+  }
+  return spec;
+}
+
+void expect_valid_embedding(const IrreversibleSpec& spec,
+                            const Embedding& e) {
+  const std::uint64_t out_mask = (std::uint64_t{1} << spec.num_outputs) - 1;
+  for (std::uint64_t x = 0; x < (std::uint64_t{1} << spec.num_inputs); ++x) {
+    EXPECT_EQ(e.table.apply(x) & out_mask, spec.outputs[x]) << "x=" << x;
+  }
+}
+
+TEST(EmbeddingVariants, AllRestrictCorrectly) {
+  const IrreversibleSpec spec = adder_spec();
+  expect_valid_embedding(spec, embed(spec));
+  expect_valid_embedding(spec, embed_identity_fill(spec));
+  expect_valid_embedding(spec, embed_input_echo(spec));
+}
+
+TEST(EmbeddingVariants, InputEchoGarbageMirrorsInputs) {
+  // For the adder, one input bit distinguishes every repeated output
+  // (the paper uses g_o = a); the echo tag is then that input bit.
+  const IrreversibleSpec spec = adder_spec();
+  const Embedding e = embed_input_echo(spec);
+  EXPECT_EQ(e.garbage_outputs, 1);
+  // The garbage line equals one fixed input bit on all real rows.
+  bool some_bit_matches = false;
+  for (int bit = 0; bit < 3; ++bit) {
+    bool matches = true;
+    for (std::uint64_t x = 0; x < 8; ++x) {
+      const std::uint64_t tag = e.table.apply(x) >> 3;
+      if (tag != ((x >> bit) & 1)) {
+        matches = false;
+        break;
+      }
+    }
+    some_bit_matches |= matches;
+  }
+  EXPECT_TRUE(some_bit_matches);
+}
+
+TEST(EmbeddingVariants, IdentityFillFixesFreeDontCares) {
+  // decod24-like one-hot decoder: 2 inputs, 4 outputs -> 4 lines, so
+  // 12 of the 16 rows are don't-cares available for identity filling.
+  IrreversibleSpec spec;
+  spec.num_inputs = 2;
+  spec.num_outputs = 4;
+  spec.outputs = {1, 2, 4, 8};
+  const Embedding e = embed_identity_fill(spec);
+  int fixed_rows = 0;
+  for (std::uint64_t x = 4; x < e.table.size(); ++x) {
+    if (e.table.apply(x) == x) ++fixed_rows;
+  }
+  EXPECT_GT(fixed_rows, 6);
+  expect_valid_embedding(spec, e);
+}
+
+TEST(EmbeddingSearch, FindsAtLeastTheBaseline) {
+  EmbeddingSearchOptions o;
+  o.synthesis.max_nodes = 30000;
+  o.random_attempts = 2;
+  const IrreversibleSpec spec = adder_spec();
+  const EmbeddingSearchResult r = find_best_embedding(spec, o);
+  ASSERT_TRUE(r.synthesis.success);
+  EXPECT_GE(r.attempts, 3);
+  EXPECT_GE(r.solved, 1);
+  expect_valid_embedding(spec, r.embedding);
+  EXPECT_TRUE(implements(r.synthesis.circuit, r.embedding.table));
+  // The baseline occurrence-counter embedding needs ~13 gates; the
+  // portfolio must do at least as well as the plain embed() run.
+  SynthesisOptions plain;
+  plain.max_nodes = 30000;
+  const SynthesisResult baseline = synthesize(embed(spec).table, plain);
+  ASSERT_TRUE(baseline.success);
+  EXPECT_LE(r.synthesis.circuit.gate_count(),
+            baseline.circuit.gate_count());
+}
+
+TEST(EmbeddingSearch, BeatsBaselineOnTheAdder) {
+  // The point of the feature: a better garbage assignment gives a much
+  // smaller adder (the paper's hand embedding reaches 4 gates).
+  EmbeddingSearchOptions o;
+  o.synthesis.max_nodes = 30000;
+  const EmbeddingSearchResult r = find_best_embedding(adder_spec(), o);
+  ASSERT_TRUE(r.synthesis.success);
+  EXPECT_LE(r.synthesis.circuit.gate_count(), 8);
+}
+
+TEST(EmbeddingSearch, DeterministicForFixedSeed) {
+  EmbeddingSearchOptions o;
+  o.synthesis.max_nodes = 10000;
+  o.seed = 7;
+  const EmbeddingSearchResult a = find_best_embedding(majority_spec(3), o);
+  const EmbeddingSearchResult b = find_best_embedding(majority_spec(3), o);
+  ASSERT_TRUE(a.synthesis.success);
+  EXPECT_EQ(a.synthesis.circuit, b.synthesis.circuit);
+  EXPECT_EQ(a.embedding.table, b.embedding.table);
+}
+
+}  // namespace
+}  // namespace rmrls

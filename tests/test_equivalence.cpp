@@ -1,0 +1,74 @@
+// Tests for the PPRM-based exact equivalence checker.
+
+#include "rev/equivalence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "rev/random.hpp"
+#include "rev/structural.hpp"
+#include "templates/fredkinize.hpp"
+#include "templates/simplify.hpp"
+
+namespace rmrls {
+namespace {
+
+TEST(Equivalence, IdenticalCircuitsAreEquivalent) {
+  std::mt19937_64 rng(71);
+  const Circuit c = random_circuit(5, 15, GateLibrary::kGT, rng);
+  EXPECT_TRUE(equivalent(c, c));
+}
+
+TEST(Equivalence, GatePairInsertionPreservesEquivalence) {
+  std::mt19937_64 rng(72);
+  const Circuit c = random_circuit(4, 10, GateLibrary::kGT, rng);
+  Circuit padded = c;
+  const Gate g(cube_of_var(0) | cube_of_var(2), 1);
+  padded.append(g);
+  padded.append(g);
+  EXPECT_TRUE(equivalent(c, padded));
+}
+
+TEST(Equivalence, DetectsSingleGateDifference) {
+  std::mt19937_64 rng(73);
+  const Circuit c = random_circuit(4, 10, GateLibrary::kGT, rng);
+  Circuit tweaked = c;
+  tweaked.append(Gate(kConstOne, 2));
+  EXPECT_FALSE(equivalent(c, tweaked));
+}
+
+TEST(Equivalence, WidthMismatchThrows) {
+  EXPECT_THROW(equivalent(Circuit(3), Circuit(4)), std::invalid_argument);
+  EXPECT_THROW(equivalent(Circuit(3), Pprm::identity(4)),
+               std::invalid_argument);
+}
+
+TEST(Equivalence, AgainstPprmSpec) {
+  // The shifter's reference circuit realizes exactly the structural PPRM.
+  EXPECT_TRUE(equivalent(shifter_reference_circuit(6), shifter_pprm(6)));
+  Circuit broken = shifter_reference_circuit(6);
+  broken.append(Gate(kConstOne, 0));
+  EXPECT_FALSE(equivalent(broken, shifter_pprm(6)));
+}
+
+TEST(Equivalence, WorksAtThirtyLines) {
+  // Exact check where truth tables cannot exist.
+  const Circuit ref = shifter_reference_circuit(28);
+  EXPECT_TRUE(equivalent(ref, shifter_pprm(28)));
+  Circuit reordered = ref;  // commuting +1/+2 chains: still equivalent
+  EXPECT_TRUE(equivalent(reordered, ref));
+}
+
+TEST(Equivalence, TemplatePassesArePprmExact) {
+  std::mt19937_64 rng(74);
+  for (int trial = 0; trial < 10; ++trial) {
+    Circuit c = random_circuit(5, 20, GateLibrary::kNCT, rng);
+    c.append(c.gates()[3]);  // guarantee a duplicate to remove
+    EXPECT_TRUE(equivalent(simplify_templates(c).circuit, c));
+    EXPECT_TRUE(equivalent(fredkinize(c).circuit, c));
+  }
+}
+
+}  // namespace
+}  // namespace rmrls

@@ -1,0 +1,148 @@
+// Tests for the ESOP representation and the exorcism-lite minimizer.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "esop/esop.hpp"
+#include "esop/minimize.hpp"
+
+namespace rmrls {
+namespace {
+
+LiteralCube lit(Cube care, Cube polarity) { return LiteralCube(care, polarity); }
+
+TEST(LiteralCube, Validation) {
+  EXPECT_NO_THROW(lit(0b11, 0b01));
+  EXPECT_THROW(lit(0b01, 0b11), std::invalid_argument);
+}
+
+TEST(LiteralCube, Eval) {
+  // a b' (a positive, b negative)
+  const LiteralCube c = lit(0b11, 0b01);
+  EXPECT_TRUE(c.eval(0b01));
+  EXPECT_FALSE(c.eval(0b11));
+  EXPECT_FALSE(c.eval(0b00));
+  // The empty cube is the constant 1.
+  EXPECT_TRUE(lit(0, 0).eval(0b1010));
+}
+
+TEST(LiteralCube, Distance) {
+  const LiteralCube ab = lit(0b11, 0b11);
+  EXPECT_EQ(ab.distance(ab), 0);
+  EXPECT_EQ(ab.distance(lit(0b11, 0b01)), 1);   // polarity of b
+  EXPECT_EQ(ab.distance(lit(0b01, 0b01)), 1);   // b missing
+  EXPECT_EQ(ab.distance(lit(0b11, 0b00)), 2);   // both polarities
+  EXPECT_EQ(ab.distance(lit(0b00, 0b00)), 2);   // both missing
+  EXPECT_EQ(ab.distance(lit(0b101, 0b100)), 3); // a flipped, b gone, c new
+}
+
+TEST(LiteralCube, ToString) {
+  EXPECT_EQ(lit(0b11, 0b01).to_string(2), "ab'");
+  EXPECT_EQ(lit(0, 0).to_string(2), "1");
+}
+
+TEST(Esop, EvalIsXorOfCubes) {
+  // f = a XOR b' over 2 vars.
+  const Esop e(2, {lit(0b01, 0b01), lit(0b10, 0b00)});
+  EXPECT_EQ(e.eval(0b00), true);   // b' fires
+  EXPECT_EQ(e.eval(0b01), false);  // both fire
+  EXPECT_EQ(e.eval(0b11), true);   // a fires
+}
+
+TEST(Esop, ToPprmExpandsComplements) {
+  // a' = 1 + a.
+  const Esop e(1, {lit(0b1, 0b0)});
+  const CubeList p = e.to_pprm();
+  EXPECT_EQ(p.size(), 2);
+  EXPECT_TRUE(p.contains(kConstOne));
+  EXPECT_TRUE(p.contains(cube_of_var(0)));
+}
+
+TEST(Esop, ToPprmCancelsAcrossCubes) {
+  // a'b' XOR a' = a' (1 + b') ... expansion must cancel shared products:
+  // a'b' = 1+a+b+ab; a' = 1+a; XOR = b+ab = b(1+a) = a'b. Verify
+  // pointwise instead of symbolically.
+  const Esop e(2, {lit(0b11, 0b00), lit(0b01, 0b00)});
+  const CubeList p = e.to_pprm();
+  for (std::uint64_t x = 0; x < 4; ++x) EXPECT_EQ(p.eval(x), e.eval(x));
+  EXPECT_EQ(p.size(), 2);  // b + ab
+}
+
+class EsopPprmEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(EsopPprmEquivalence, ExpansionPreservesTheFunction) {
+  const int n = GetParam();
+  std::mt19937_64 rng(31 + static_cast<unsigned>(n));
+  std::uniform_int_distribution<std::uint64_t> word(0, (1u << n) - 1);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<LiteralCube> cubes;
+    const int count = 1 + static_cast<int>(rng() % 6);
+    for (int i = 0; i < count; ++i) {
+      const Cube care = word(rng);
+      cubes.push_back(lit(care, word(rng) & care));
+    }
+    const Esop e(n, std::move(cubes));
+    const CubeList p = e.to_pprm();
+    for (std::uint64_t x = 0; x < (std::uint64_t{1} << n); ++x) {
+      EXPECT_EQ(p.eval(x), e.eval(x));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, EsopPprmEquivalence,
+                         ::testing::Values(2, 3, 4, 5, 6));
+
+TEST(EsopFromTruthVector, MintermForm) {
+  const Esop e = Esop::from_truth_vector({0, 1, 1, 0});
+  EXPECT_EQ(e.size(), 2);
+  for (std::uint64_t x = 0; x < 4; ++x) {
+    EXPECT_EQ(e.eval(x), x == 1 || x == 2);
+  }
+}
+
+class MinimizerProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinimizerProperty, PreservesFunctionAndNeverGrows) {
+  const int n = GetParam();
+  std::mt19937_64 rng(77 + static_cast<unsigned>(n));
+  std::uniform_int_distribution<int> bit(0, 1);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<std::uint8_t> f(std::size_t{1} << n);
+    for (auto& v : f) v = static_cast<std::uint8_t>(bit(rng));
+    const Esop start = Esop::from_truth_vector(f);
+    const EsopMinimizeResult r = minimize_esop(start);
+    EXPECT_LE(r.final_cubes, r.initial_cubes);
+    for (std::uint64_t x = 0; x < f.size(); ++x) {
+      EXPECT_EQ(r.esop.eval(x), f[x] != 0) << "x=" << x;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MinimizerProperty,
+                         ::testing::Values(2, 3, 4, 5));
+
+TEST(Minimizer, MergesAdjacentMinterms) {
+  // ON-set {00, 01} = b' as a single cube.
+  const EsopMinimizeResult r =
+      minimize_esop(Esop::from_truth_vector({1, 1, 0, 0}));
+  EXPECT_EQ(r.final_cubes, 1);
+}
+
+TEST(Minimizer, ParityFunctionStaysDense) {
+  // XOR of two variables minimizes to two single-literal cubes.
+  const EsopMinimizeResult r =
+      minimize_esop(Esop::from_truth_vector({0, 1, 1, 0}));
+  EXPECT_EQ(r.final_cubes, 2);
+  EXPECT_LE(r.esop.literal_total(), 2);
+}
+
+TEST(Minimizer, EmptyAndConstant) {
+  EXPECT_EQ(minimize_esop(Esop::from_truth_vector({0, 0, 0, 0})).final_cubes,
+            0);
+  EXPECT_EQ(minimize_esop(Esop::from_truth_vector({1, 1, 1, 1})).final_cubes,
+            1);
+}
+
+}  // namespace
+}  // namespace rmrls

@@ -1,0 +1,164 @@
+// Tests for Toffoli gates and cascades.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "rev/circuit.hpp"
+#include "rev/pprm.hpp"
+#include "rev/pprm_transform.hpp"
+#include "rev/random.hpp"
+
+namespace rmrls {
+namespace {
+
+TEST(Gate, NotGate) {
+  const Gate g(kConstOne, 0);
+  EXPECT_EQ(g.size(), 1);
+  EXPECT_EQ(g.apply(0b000), 0b001u);
+  EXPECT_EQ(g.apply(0b001), 0b000u);
+}
+
+TEST(Gate, CnotGate) {
+  const Gate g(cube_of_var(0), 1);  // control a, target b
+  EXPECT_EQ(g.size(), 2);
+  EXPECT_EQ(g.apply(0b01), 0b11u);
+  EXPECT_EQ(g.apply(0b00), 0b00u);
+  EXPECT_EQ(g.apply(0b10), 0b10u);
+}
+
+TEST(Gate, ToffoliSemanticsMatchEq1) {
+  // y_n = x_n XOR x_1 x_2 ... x_{n-1}; controls pass through.
+  const Gate g(cube_of_var(0) | cube_of_var(1), 2);
+  for (std::uint64_t x = 0; x < 8; ++x) {
+    const std::uint64_t y = g.apply(x);
+    EXPECT_EQ(y & 0b011, x & 0b011);
+    const std::uint64_t expected_t =
+        ((x >> 2) & 1) ^ ((x & 1) & ((x >> 1) & 1));
+    EXPECT_EQ((y >> 2) & 1, expected_t);
+  }
+}
+
+TEST(Gate, RejectsTargetInControls) {
+  EXPECT_THROW(Gate(cube_of_var(1), 1), std::invalid_argument);
+  EXPECT_THROW(Gate(kConstOne, -1), std::invalid_argument);
+  EXPECT_THROW(Gate(kConstOne, kMaxVariables), std::invalid_argument);
+}
+
+TEST(Gate, IsSelfInverse) {
+  const Gate g(cube_of_var(0) | cube_of_var(2), 1);
+  for (std::uint64_t x = 0; x < 8; ++x) EXPECT_EQ(g.apply(g.apply(x)), x);
+}
+
+TEST(Gate, MovingRule) {
+  const Gate g1(cube_of_var(0), 1);  // a -> b
+  const Gate g2(cube_of_var(0), 2);  // a -> c: disjoint targets, shared ctrl
+  EXPECT_TRUE(g1.commutes_with(g2));
+  const Gate g3(cube_of_var(1), 2);  // b -> c: target of g1 feeds control
+  EXPECT_FALSE(g1.commutes_with(g3));
+  const Gate g4(cube_of_var(2), 1);  // same target as g1
+  EXPECT_TRUE(g1.commutes_with(g4));
+}
+
+TEST(Gate, CommutationIsSemanticallyCorrect) {
+  std::mt19937_64 rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Circuit c = random_circuit(4, 2, GateLibrary::kGT, rng);
+    const Gate& g1 = c.gates()[0];
+    const Gate& g2 = c.gates()[1];
+    if (!g1.commutes_with(g2)) continue;
+    for (std::uint64_t x = 0; x < 16; ++x) {
+      EXPECT_EQ(g2.apply(g1.apply(x)), g1.apply(g2.apply(x)));
+    }
+  }
+}
+
+TEST(GateToString, PaperNotation) {
+  EXPECT_EQ(gate_to_string(Gate(kConstOne, 0), 3), "TOF1(a)");
+  EXPECT_EQ(gate_to_string(Gate(cube_of_var(2), 0), 3), "TOF2(c; a)");
+  EXPECT_EQ(gate_to_string(Gate(cube_of_var(0) | cube_of_var(2), 1), 3),
+            "TOF3(a, c; b)");
+}
+
+TEST(Circuit, SimulateAppliesGatesLeftToRight) {
+  // Fig. 3(d): TOF1(a) TOF3(a, c; b)... the first gate acts first.
+  Circuit c(2);
+  c.append(Gate(kConstOne, 0));      // NOT a
+  c.append(Gate(cube_of_var(0), 1));  // CNOT a -> b
+  EXPECT_EQ(c.simulate(0b00), 0b11u);  // NOT sets a, CNOT then fires
+}
+
+TEST(Circuit, AppendRejectsOutOfRangeGate) {
+  Circuit c(2);
+  EXPECT_THROW(c.append(Gate(kConstOne, 2)), std::invalid_argument);
+  EXPECT_THROW(c.append(Gate(cube_of_var(3), 0)), std::invalid_argument);
+}
+
+TEST(Circuit, PaperFig3dRealizesFig1) {
+  // TOF1(a), then b <- b XOR ac, then c <- c XOR ab realizes
+  // {1, 0, 7, 2, 3, 4, 5, 6}; validated by simulation.
+  Circuit c(3);
+  c.append(Gate(kConstOne, 0));
+  c.append(Gate(cube_of_var(0) | cube_of_var(2), 1));
+  c.append(Gate(cube_of_var(0) | cube_of_var(1), 2));
+  EXPECT_EQ(c.to_truth_table(), TruthTable({1, 0, 7, 2, 3, 4, 5, 6}));
+}
+
+TEST(Circuit, InverseReversesFunction) {
+  std::mt19937_64 rng(11);
+  const Circuit c = random_circuit(4, 10, GateLibrary::kGT, rng);
+  const Circuit inv = c.inverse();
+  for (std::uint64_t x = 0; x < 16; ++x) {
+    EXPECT_EQ(inv.simulate(c.simulate(x)), x);
+  }
+}
+
+TEST(Circuit, ThenConcatenates) {
+  std::mt19937_64 rng(12);
+  const Circuit c1 = random_circuit(3, 4, GateLibrary::kNCT, rng);
+  const Circuit c2 = random_circuit(3, 4, GateLibrary::kNCT, rng);
+  const Circuit cat = c1.then(c2);
+  EXPECT_EQ(cat.gate_count(), 8);
+  for (std::uint64_t x = 0; x < 8; ++x) {
+    EXPECT_EQ(cat.simulate(x), c2.simulate(c1.simulate(x)));
+  }
+}
+
+TEST(Circuit, ToPprmMatchesTruthTable) {
+  std::mt19937_64 rng(13);
+  for (int n = 2; n <= 6; ++n) {
+    const Circuit c = random_circuit(n, 12, GateLibrary::kGT, rng);
+    EXPECT_EQ(c.to_pprm(), pprm_of_truth_table(c.to_truth_table()))
+        << "width " << n;
+  }
+}
+
+TEST(Circuit, ToPprmWorksBeyondTableReach) {
+  // 30 lines: no truth table possible; checked by sampled evaluation.
+  std::mt19937_64 rng(14);
+  const Circuit c = random_circuit(30, 8, GateLibrary::kGT, rng);
+  const Pprm p = c.to_pprm();
+  for (int i = 0; i < 256; ++i) {
+    const std::uint64_t x = rng() & ((std::uint64_t{1} << 30) - 1);
+    EXPECT_EQ(p.eval(x), c.simulate(x));
+  }
+}
+
+TEST(Circuit, MaxGateSize) {
+  Circuit c(4);
+  EXPECT_EQ(c.max_gate_size(), 0);
+  c.append(Gate(kConstOne, 0));
+  c.append(Gate(cube_of_var(1) | cube_of_var(2) | cube_of_var(3), 0));
+  EXPECT_EQ(c.max_gate_size(), 4);
+}
+
+TEST(Circuit, ToStringMatchesPaperStyle) {
+  Circuit c(3);
+  c.append(Gate(cube_of_var(0) | cube_of_var(2), 1));
+  c.append(Gate(kConstOne, 0));
+  EXPECT_EQ(c.to_string(), "TOF3(a, c; b) TOF1(a)");
+  EXPECT_EQ(Circuit(3).to_string(), "(empty)");
+}
+
+}  // namespace
+}  // namespace rmrls

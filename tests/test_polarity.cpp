@@ -1,0 +1,125 @@
+// Tests for mixed-polarity gates and sandwich compression.
+
+#include "rev/polarity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "rev/random.hpp"
+
+namespace rmrls {
+namespace {
+
+TEST(PolarityGate, FiresOnMatchingPolarity) {
+  // TOF3(a, b'; c): fires when a = 1 and b = 0.
+  const PolarityGate g(cube_of_var(0) | cube_of_var(1), cube_of_var(0), 2);
+  EXPECT_EQ(g.apply(0b001), 0b101u);
+  EXPECT_EQ(g.apply(0b011), 0b011u);  // b = 1: no fire
+  EXPECT_EQ(g.apply(0b000), 0b000u);  // a = 0: no fire
+  EXPECT_EQ(g.apply(0b101), 0b001u);  // self-inverse
+}
+
+TEST(PolarityGate, Validation) {
+  EXPECT_THROW(PolarityGate(cube_of_var(1), cube_of_var(0), 2),
+               std::invalid_argument);  // polarity outside controls
+  EXPECT_THROW(PolarityGate(cube_of_var(1), cube_of_var(1), 1),
+               std::invalid_argument);  // target is a control
+}
+
+TEST(PolarityGate, Rendering) {
+  const PolarityGate g(cube_of_var(0) | cube_of_var(1), cube_of_var(0), 2);
+  EXPECT_EQ(polarity_gate_to_string(g, 3), "TOF3(a, b'; c)");
+}
+
+TEST(PolarityCircuit, ToPositiveExpandsSandwiches) {
+  PolarityCircuit pc(3);
+  pc.append(PolarityGate(cube_of_var(0) | cube_of_var(1), cube_of_var(0), 2));
+  const Circuit pos = pc.to_positive();
+  // NOT(b) TOF3(a,b;c) NOT(b): three positive gates.
+  EXPECT_EQ(pos.gate_count(), 3);
+  for (std::uint64_t x = 0; x < 8; ++x) {
+    EXPECT_EQ(pos.simulate(x), pc.simulate(x));
+  }
+}
+
+TEST(PolarityCircuit, AdjacentSandwichesShareNots) {
+  // Two consecutive gates with the same negative control need only one
+  // sandwich, not two.
+  PolarityCircuit pc(3);
+  const Cube ab = cube_of_var(0) | cube_of_var(1);
+  pc.append(PolarityGate(ab, cube_of_var(0), 2));
+  pc.append(PolarityGate(ab, cube_of_var(0), 2));
+  const Circuit pos = pc.to_positive();
+  EXPECT_EQ(pos.gate_count(), 4);  // NOT g g NOT, not NOT g NOT NOT g NOT
+  for (std::uint64_t x = 0; x < 8; ++x) {
+    EXPECT_EQ(pos.simulate(x), pc.simulate(x));
+  }
+}
+
+TEST(Compress, FoldsASimpleSandwich) {
+  Circuit c(3);
+  c.append(Gate(kConstOne, 1));                          // NOT b
+  c.append(Gate(cube_of_var(0) | cube_of_var(1), 2));    // TOF3(a, b; c)
+  c.append(Gate(kConstOne, 1));                          // NOT b
+  const PolarityCompressResult r = compress_polarity(c);
+  EXPECT_EQ(r.sandwiches_folded, 1);
+  EXPECT_EQ(r.circuit.gate_count(), 1);
+  EXPECT_EQ(r.circuit.gates()[0].negative_controls(), cube_of_var(1));
+  for (std::uint64_t x = 0; x < 8; ++x) {
+    EXPECT_EQ(r.circuit.simulate(x), c.simulate(x));
+  }
+}
+
+TEST(Compress, LeavesNonSandwichesAlone) {
+  Circuit c(3);
+  c.append(Gate(kConstOne, 1));
+  c.append(Gate(cube_of_var(1), 2));
+  c.append(Gate(cube_of_var(1), 0));  // second reader: cannot fold once
+  c.append(Gate(kConstOne, 1));
+  const PolarityCompressResult r = compress_polarity(c);
+  EXPECT_EQ(r.sandwiches_folded, 0);
+  EXPECT_EQ(r.circuit.gate_count(), 4);
+}
+
+TEST(Compress, RoundTripsThroughPositive) {
+  Circuit c(4);
+  c.append(Gate(kConstOne, 0));
+  c.append(Gate(cube_of_var(0) | cube_of_var(2), 1));
+  c.append(Gate(kConstOne, 0));
+  c.append(Gate(cube_of_var(1), 3));
+  const PolarityCompressResult r = compress_polarity(c);
+  EXPECT_EQ(r.gates_saved, 2);
+  const Circuit back = r.circuit.to_positive();
+  for (std::uint64_t x = 0; x < 16; ++x) {
+    EXPECT_EQ(back.simulate(x), c.simulate(x));
+  }
+}
+
+class CompressProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CompressProperty, PreservesFunctionNeverGrows) {
+  std::mt19937_64 rng(GetParam());
+  Circuit c = random_circuit(4, 10, GateLibrary::kNCT, rng);
+  // Inject a sandwich so most seeds have something to fold.
+  Circuit padded(4);
+  padded.append(Gate(kConstOne, 2));
+  for (const Gate& g : c.gates()) padded.append(g);
+  padded.append(Gate(kConstOne, 2));
+  const PolarityCompressResult r = compress_polarity(padded);
+  EXPECT_LE(r.circuit.gate_count(), padded.gate_count());
+  for (std::uint64_t x = 0; x < 16; ++x) {
+    EXPECT_EQ(r.circuit.simulate(x), padded.simulate(x)) << "x=" << x;
+  }
+  // And the expansion back to positive gates is faithful too.
+  const Circuit back = r.circuit.to_positive();
+  for (std::uint64_t x = 0; x < 16; ++x) {
+    EXPECT_EQ(back.simulate(x), padded.simulate(x));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressProperty,
+                         ::testing::Range(400u, 420u));
+
+}  // namespace
+}  // namespace rmrls

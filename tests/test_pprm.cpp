@@ -1,0 +1,190 @@
+// Tests for CubeList / Pprm: XOR semantics, substitution, identity checks.
+
+#include "rev/pprm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace rmrls {
+namespace {
+
+Cube a() { return cube_of_var(0); }
+Cube b() { return cube_of_var(1); }
+Cube c() { return cube_of_var(2); }
+
+TEST(CubeList, ConstructorCancelsPairs) {
+  // a + a cancels; b survives; c + c + c leaves one c.
+  CubeList l({a(), b(), a(), c(), c(), c()});
+  EXPECT_EQ(l.size(), 2);
+  EXPECT_TRUE(l.contains(b()));
+  EXPECT_TRUE(l.contains(c()));
+  EXPECT_FALSE(l.contains(a()));
+}
+
+TEST(CubeList, ToggleInsertsAndRemoves) {
+  CubeList l;
+  l.toggle(a());
+  EXPECT_TRUE(l.contains(a()));
+  l.toggle(a());
+  EXPECT_FALSE(l.contains(a()));
+  EXPECT_TRUE(l.empty());
+}
+
+TEST(CubeList, ToggleAllIsSymmetricDifference) {
+  CubeList x({a(), b()});
+  CubeList y({b(), c()});
+  x.toggle_all(y);
+  EXPECT_EQ(x.size(), 2);
+  EXPECT_TRUE(x.contains(a()));
+  EXPECT_TRUE(x.contains(c()));
+}
+
+TEST(CubeList, EvalMatchesXorOfProducts) {
+  // f = 1 + a + bc
+  CubeList l({kConstOne, a(), b() | c()});
+  EXPECT_TRUE(l.eval(0b000));   // 1
+  EXPECT_FALSE(l.eval(0b001));  // 1 ^ a
+  EXPECT_TRUE(l.eval(0b111));   // 1 ^ a ^ bc
+  EXPECT_FALSE(l.eval(0b110));  // 1 ^ bc
+}
+
+TEST(CubeList, SubstituteExpandsTarget) {
+  // f = b + ab; substitute b <- b XOR c: f = b + c + ab + ac.
+  CubeList l({b(), a() | b()});
+  const int delta = l.substitute(1, c());
+  EXPECT_EQ(delta, 2);
+  EXPECT_EQ(l.size(), 4);
+  EXPECT_TRUE(l.contains(c()));
+  EXPECT_TRUE(l.contains(a() | c()));
+}
+
+TEST(CubeList, SubstituteCancels) {
+  // f = b + c; substitute b <- b XOR c: f = b + c + c = b.
+  CubeList l({b(), c()});
+  const int delta = l.substitute(1, c());
+  EXPECT_EQ(delta, -1);
+  EXPECT_TRUE(l.is_single_var(1));
+}
+
+TEST(CubeList, SubstituteRejectsTargetInFactor) {
+  CubeList l({b()});
+  EXPECT_THROW(l.substitute(1, b()), std::invalid_argument);
+  EXPECT_THROW(l.substitute(1, a() | b()), std::invalid_argument);
+}
+
+TEST(CubeList, SubstituteTwiceRestores) {
+  // Toffoli gates are self-inverse; so is the substitution.
+  CubeList l({b(), a() | b(), c(), a()});
+  const CubeList original = l;
+  l.substitute(1, a() | c());
+  l.substitute(1, a() | c());
+  EXPECT_EQ(l, original);
+}
+
+TEST(CubeList, DependsOn) {
+  CubeList l({a() | b(), c()});
+  EXPECT_TRUE(l.depends_on(0));
+  EXPECT_TRUE(l.depends_on(1));
+  EXPECT_TRUE(l.depends_on(2));
+  EXPECT_FALSE(l.depends_on(3));
+}
+
+TEST(CubeList, ToStringMatchesPaperNotation) {
+  CubeList l({b(), c(), a() | c()});
+  EXPECT_EQ(l.to_string(3), "b + c + ac");
+  EXPECT_EQ(CubeList{}.to_string(3), "0");
+}
+
+TEST(Pprm, IdentityRoundtrip) {
+  const Pprm id = Pprm::identity(4);
+  EXPECT_TRUE(id.is_identity());
+  EXPECT_EQ(id.term_count(), 4);
+  for (std::uint64_t x = 0; x < 16; ++x) EXPECT_EQ(id.eval(x), x);
+}
+
+TEST(Pprm, EmptySystemIsNotIdentity) {
+  EXPECT_FALSE(Pprm(3).is_identity());
+}
+
+TEST(Pprm, SubstituteActsOnAllOutputs) {
+  // Identity on 3 lines, then b <- b XOR ac twice returns to identity.
+  Pprm p = Pprm::identity(3);
+  const int delta = p.substitute(1, a() | c());
+  EXPECT_EQ(delta, 1);
+  EXPECT_FALSE(p.is_identity());
+  p.substitute(1, a() | c());
+  EXPECT_TRUE(p.is_identity());
+}
+
+TEST(Pprm, EvalPacksOutputBits) {
+  // out_a = b, out_b = a (wire swap), out_c = c.
+  Pprm p(3);
+  p.output(0).toggle(b());
+  p.output(1).toggle(a());
+  p.output(2).toggle(c());
+  EXPECT_EQ(p.eval(0b001), 0b010u);
+  EXPECT_EQ(p.eval(0b010), 0b001u);
+  EXPECT_EQ(p.eval(0b101), 0b110u);
+}
+
+TEST(Pprm, HashDistinguishesOutputPlacement) {
+  Pprm p(2);
+  p.output(0).toggle(a());
+  Pprm q(2);
+  q.output(1).toggle(a());
+  EXPECT_NE(p.hash(), q.hash());
+  EXPECT_EQ(p.hash(), p.hash());
+}
+
+TEST(Pprm, EqualityIsStructural) {
+  Pprm p = Pprm::identity(3);
+  Pprm q = Pprm::identity(3);
+  EXPECT_EQ(p, q);
+  q.substitute(0, c());
+  EXPECT_NE(p, q);
+}
+
+TEST(CubeList, SubstituteDeltaMatchesSubstitute) {
+  // Property: the read-only delta equals the mutating one, including the
+  // collision case where two source cubes map to the same rewrite
+  // (b and ab both map to ab under b <- b XOR a).
+  CubeList collide({b(), a() | b()});
+  EXPECT_EQ(collide.substitute_delta(1, a()), [&] {
+    CubeList copy = collide;
+    return copy.substitute(1, a());
+  }());
+  std::mt19937_64 rng(123);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Cube> cubes;
+    const int count = 1 + static_cast<int>(rng() % 10);
+    for (int i = 0; i < count; ++i) cubes.push_back(rng() & 0x1f);
+    CubeList l(std::move(cubes));
+    const int t = static_cast<int>(rng() % 5);
+    const Cube f = rng() & 0x1f & ~cube_of_var(t);
+    CubeList mutated = l;
+    EXPECT_EQ(l.substitute_delta(t, f), mutated.substitute(t, f));
+  }
+}
+
+TEST(Pprm, SubstituteDeltaMatchesSubstitute) {
+  std::mt19937_64 rng(321);
+  for (int trial = 0; trial < 50; ++trial) {
+    Pprm p(4);
+    for (int out = 0; out < 4; ++out) {
+      for (int i = 0; i < 5; ++i) p.output(out).toggle(rng() & 0xf);
+    }
+    const int t = static_cast<int>(rng() % 4);
+    const Cube f = rng() & 0xf & ~cube_of_var(t);
+    Pprm mutated = p;
+    EXPECT_EQ(p.substitute_delta(t, f), mutated.substitute(t, f));
+  }
+}
+
+TEST(Pprm, RejectsOutOfRangeWidth) {
+  EXPECT_THROW(Pprm(-1), std::invalid_argument);
+  EXPECT_THROW(Pprm(kMaxVariables + 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rmrls

@@ -1,0 +1,164 @@
+// Cross-module property tests: the invariants listed in DESIGN.md Section 6,
+// exercised with parameterized sweeps over widths and seeds.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <tuple>
+
+#include "baselines/transformation_based.hpp"
+#include "core/synthesizer.hpp"
+#include "rev/pprm_transform.hpp"
+#include "rev/quantum_cost.hpp"
+#include "rev/random.hpp"
+#include "templates/simplify.hpp"
+
+namespace rmrls {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Invariant 4: every circuit returned by synthesize() implements its spec.
+
+class SynthesizeRandom
+    : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
+
+TEST_P(SynthesizeRandom, CircuitImplementsSpec) {
+  const auto [n, seed] = GetParam();
+  std::mt19937_64 rng(seed);
+  SynthesisOptions o;
+  o.max_nodes = n <= 3 ? 20000 : 60000;
+  const TruthTable spec = random_reversible_function(n, rng);
+  const SynthesisResult r = synthesize(spec, o);
+  ASSERT_TRUE(r.success) << spec.to_string();
+  EXPECT_TRUE(implements(r.circuit, spec)) << spec.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, SynthesizeRandom,
+    ::testing::Combine(::testing::Values(2, 3, 4),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u)));
+
+// ---------------------------------------------------------------------------
+// Invariant 3: PPRM of a circuit equals PPRM of its simulated table.
+
+class CircuitPprm : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CircuitPprm, ReverseSubstitutionEqualsTransform) {
+  const auto [n, gates] = GetParam();
+  std::mt19937_64 rng(static_cast<unsigned>(n * 100 + gates));
+  const Circuit c = random_circuit(n, gates, GateLibrary::kGT, rng);
+  EXPECT_EQ(c.to_pprm(), pprm_of_truth_table(c.to_truth_table()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CircuitPprm,
+                         ::testing::Combine(::testing::Values(2, 4, 6, 8),
+                                            ::testing::Values(1, 5, 20)));
+
+// ---------------------------------------------------------------------------
+// Invariant: re-synthesizing a random circuit's function and simulating
+// matches the original circuit everywhere (the Section V-E pipeline).
+
+class ScalabilityPipeline : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScalabilityPipeline, RoundTripsThroughPprm) {
+  const int n = GetParam();
+  std::mt19937_64 rng(static_cast<unsigned>(n) * 7 + 1);
+  const Circuit original = random_circuit(n, 8, GateLibrary::kGT, rng);
+  const Pprm spec = original.to_pprm();
+  SynthesisOptions o;
+  o.max_nodes = 60000;
+  o.stop_at_first_solution = true;
+  const SynthesisResult r = synthesize(spec, o);
+  if (!r.success) GTEST_SKIP() << "heuristic miss is allowed";
+  EXPECT_TRUE(implements(r.circuit, spec));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ScalabilityPipeline,
+                         ::testing::Values(5, 6, 7, 8, 10));
+
+// ---------------------------------------------------------------------------
+// Invariant 6/7: MMD is total; templates preserve function.
+
+class MmdAndTemplates : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MmdAndTemplates, SimplifiedMmdCircuitStaysCorrect) {
+  std::mt19937_64 rng(GetParam());
+  const TruthTable spec = random_reversible_function(4, rng);
+  const Circuit c = synthesize_transformation_bidir(spec);
+  ASSERT_TRUE(implements(c, spec));
+  const SimplifyResult s = simplify_templates(c);
+  EXPECT_TRUE(implements(s.circuit, spec));
+  EXPECT_LE(s.circuit.gate_count(), c.gate_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MmdAndTemplates,
+                         ::testing::Range(100u, 116u));
+
+// ---------------------------------------------------------------------------
+// Invariant 10: parity. On n >= 4 lines every NCT gate of width < n is an
+// even permutation, so circuits of such gates realize even permutations.
+
+class ParityTheorem : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParityTheorem, SmallGateCircuitsAreEvenPermutations) {
+  const int n = GetParam();
+  std::mt19937_64 rng(static_cast<unsigned>(n) * 13);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Circuit c = random_circuit(n, 12, GateLibrary::kNCT, rng);
+    if (c.max_gate_size() >= n) continue;  // full-width gates are odd
+    EXPECT_TRUE(c.to_truth_table().is_even()) << c.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ParityTheorem, ::testing::Values(4, 5, 6));
+
+TEST(ParityTheorem, FullWidthGateIsOdd) {
+  // On n lines, the n-bit Toffoli exchanges exactly one pair of states.
+  for (int n = 2; n <= 6; ++n) {
+    Cube controls = 0;
+    for (int v = 1; v < n; ++v) controls |= cube_of_var(v);
+    Circuit c(n);
+    c.append(Gate(controls, 0));
+    EXPECT_FALSE(c.to_truth_table().is_even()) << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Odd permutations on n lines require at least one full-width gate (the
+// Shende et al. structure theorem), so RMRLS output for an odd permutation
+// must contain one.
+
+TEST(ParityTheorem, OddPermutationForcesWideGate) {
+  std::mt19937_64 rng(7777);
+  SynthesisOptions o;
+  o.max_nodes = 60000;
+  int tested = 0;
+  while (tested < 5) {
+    const TruthTable spec = random_reversible_function(4, rng);
+    if (spec.is_even()) continue;
+    ++tested;
+    const SynthesisResult r = synthesize(spec, o);
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(r.circuit.max_gate_size(), 4) << spec.to_string();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quantum-cost sanity across random circuits: cost >= gate count, and the
+// template pass never increases cost.
+
+class CostMonotonicity : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CostMonotonicity, TemplatesNeverIncreaseCost) {
+  std::mt19937_64 rng(GetParam());
+  const Circuit c = random_circuit(6, 25, GateLibrary::kGT, rng);
+  const SimplifyResult s = simplify_templates(c);
+  EXPECT_GE(quantum_cost(c), quantum_cost(s.circuit));
+  EXPECT_GE(quantum_cost(c), c.gate_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CostMonotonicity,
+                         ::testing::Range(200u, 212u));
+
+}  // namespace
+}  // namespace rmrls

@@ -1,0 +1,75 @@
+// Tests for the seeded random-function and random-circuit generators.
+
+#include "rev/random.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rmrls {
+namespace {
+
+TEST(RandomFunction, IsDeterministicPerSeed) {
+  std::mt19937_64 rng1(5);
+  std::mt19937_64 rng2(5);
+  EXPECT_EQ(random_reversible_function(4, rng1),
+            random_reversible_function(4, rng2));
+}
+
+TEST(RandomFunction, DifferentSeedsDiffer) {
+  std::mt19937_64 rng1(5);
+  std::mt19937_64 rng2(6);
+  EXPECT_NE(random_reversible_function(5, rng1),
+            random_reversible_function(5, rng2));
+}
+
+TEST(RandomFunction, RejectsWideRequests) {
+  std::mt19937_64 rng(1);
+  EXPECT_THROW(random_reversible_function(25, rng), std::invalid_argument);
+  EXPECT_THROW(random_reversible_function(0, rng), std::invalid_argument);
+}
+
+TEST(RandomCircuit, RespectsGateCount) {
+  std::mt19937_64 rng(2);
+  const Circuit c = random_circuit(8, 17, GateLibrary::kGT, rng);
+  EXPECT_EQ(c.gate_count(), 17);
+  EXPECT_EQ(c.num_lines(), 8);
+}
+
+TEST(RandomCircuit, NctLimitsGateWidth) {
+  std::mt19937_64 rng(3);
+  const Circuit c = random_circuit(10, 200, GateLibrary::kNCT, rng);
+  EXPECT_LE(c.max_gate_size(), 3);
+}
+
+TEST(RandomCircuit, GtUsesWiderGatesEventually) {
+  std::mt19937_64 rng(4);
+  const Circuit c = random_circuit(10, 200, GateLibrary::kGT, rng);
+  EXPECT_GT(c.max_gate_size(), 3);
+}
+
+TEST(RandomCircuit, SwapLibraryRejected) {
+  std::mt19937_64 rng(5);
+  EXPECT_THROW(random_circuit(4, 3, GateLibrary::kNCTS, rng),
+               std::invalid_argument);
+}
+
+TEST(RandomCircuit, GatesAreWellFormed) {
+  std::mt19937_64 rng(6);
+  const Circuit c = random_circuit(6, 100, GateLibrary::kGT, rng);
+  for (const Gate& g : c.gates()) {
+    EXPECT_FALSE(cube_has_var(g.controls, g.target));
+    EXPECT_LT(g.target, 6);
+  }
+}
+
+TEST(RandomCircuit, SectionVEPipelineIsReproducible) {
+  // Same seed -> same circuit -> same specification (Section V-E flow).
+  std::mt19937_64 rng1(7);
+  std::mt19937_64 rng2(7);
+  const Circuit c1 = random_circuit(6, 15, GateLibrary::kGT, rng1);
+  const Circuit c2 = random_circuit(6, 15, GateLibrary::kGT, rng2);
+  EXPECT_EQ(c1, c2);
+  EXPECT_EQ(c1.to_truth_table(), c2.to_truth_table());
+}
+
+}  // namespace
+}  // namespace rmrls

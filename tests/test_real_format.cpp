@@ -1,0 +1,98 @@
+// Tests for the RevLib .real reader/writer.
+
+#include "io/real_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "rev/random.hpp"
+#include "templates/fredkinize.hpp"
+
+namespace rmrls {
+namespace {
+
+TEST(RealFormat, WriteContainsExpectedSections) {
+  MixedCircuit c(3);
+  c.append(MixedGate::toffoli(Gate(cube_of_var(0) | cube_of_var(1), 2)));
+  c.append(MixedGate::fredkin(cube_of_var(2), 0, 1));
+  const std::string text = write_real(c);
+  EXPECT_NE(text.find(".numvars 3"), std::string::npos);
+  EXPECT_NE(text.find(".variables a b c"), std::string::npos);
+  EXPECT_NE(text.find("t3 a b c"), std::string::npos);
+  EXPECT_NE(text.find("f3 c a b"), std::string::npos);
+  EXPECT_NE(text.find(".end"), std::string::npos);
+}
+
+TEST(RealFormat, MetadataRoundTrips) {
+  RealCircuit rc;
+  rc.circuit = MixedCircuit(4);
+  rc.circuit.append(MixedGate::toffoli(Gate(kConstOne, 3)));
+  rc.constants = "--00";
+  rc.garbage = "-11-";
+  const RealCircuit back = read_real(write_real(rc));
+  EXPECT_EQ(back.constants, "--00");
+  EXPECT_EQ(back.garbage, "-11-");
+  EXPECT_EQ(back.circuit, rc.circuit);
+}
+
+TEST(RealFormat, RoundTripPreservesMixedCascades) {
+  std::mt19937_64 rng(91);
+  for (int n : {3, 5, 9, 30}) {
+    const Circuit base = random_circuit(n, 12, GateLibrary::kGT, rng);
+    const MixedCircuit mixed = fredkinize(base).circuit;
+    const RealCircuit back = read_real(write_real(mixed));
+    EXPECT_EQ(back.circuit, mixed) << "width " << n;
+  }
+}
+
+TEST(RealFormat, ParsesHandWrittenFile) {
+  const std::string text =
+      "# adder fragment\n"
+      ".version 2.0\n"
+      ".numvars 3\n"
+      ".variables x y z\n"
+      ".constants --0\n"
+      ".garbage 1--\n"
+      ".begin\n"
+      "t2 x y\n"
+      "f3 z x y\n"
+      ".end\n";
+  const RealCircuit rc = read_real(text);
+  EXPECT_EQ(rc.circuit.num_lines(), 3);
+  ASSERT_EQ(rc.circuit.gate_count(), 2);
+  EXPECT_EQ(rc.circuit.gates()[0],
+            MixedGate::toffoli(Gate(cube_of_var(0), 1)));
+  EXPECT_EQ(rc.circuit.gates()[1], MixedGate::fredkin(cube_of_var(2), 0, 1));
+  EXPECT_EQ(rc.constants, "--0");
+  EXPECT_EQ(rc.garbage, "1--");
+}
+
+TEST(RealFormat, RejectsMalformedInput) {
+  EXPECT_THROW(read_real(".begin\n.end\n"), std::invalid_argument);
+  EXPECT_THROW(read_real(".variables a b\n.begin\n"), std::invalid_argument);
+  EXPECT_THROW(read_real(".variables a b\n.begin\nt2 a z\n.end\n"),
+               std::invalid_argument);
+  EXPECT_THROW(read_real(".variables a b\n.begin\nt3 a b\n.end\n"),
+               std::invalid_argument);
+  EXPECT_THROW(read_real(".variables a b\n.begin\nv2 a b\n.end\n"),
+               std::invalid_argument);
+  EXPECT_THROW(read_real(".numvars 3\n.variables a b\n.begin\n.end\n"),
+               std::invalid_argument);
+  // Negative-control markers are explicitly unsupported.
+  EXPECT_THROW(read_real(".variables a b\n.begin\nt2 -a b\n.end\n"),
+               std::invalid_argument);
+  // Fredkin pair overlapping a control.
+  EXPECT_THROW(read_real(".variables a b c\n.begin\nf3 a a b\n.end\n"),
+               std::invalid_argument);
+}
+
+TEST(RealFormat, WidthValidation) {
+  RealCircuit rc;
+  rc.circuit = MixedCircuit(3);
+  rc.constants = "--";  // wrong width
+  EXPECT_THROW(write_real(rc), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rmrls

@@ -1,0 +1,127 @@
+// Tests for the Walsh spectrum and the spectral greedy baseline [18].
+
+#include "baselines/spectral.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "core/synthesizer.hpp"
+#include "rev/random.hpp"
+
+namespace rmrls {
+namespace {
+
+TEST(WalshSpectrum, KnownSmallSpectra) {
+  // Constant 0: S_0 = 2^n, everything else 0.
+  EXPECT_EQ(walsh_spectrum({0, 0, 0, 0}),
+            (std::vector<std::int64_t>{4, 0, 0, 0}));
+  // f = x0: perfectly correlated with chi_{01}.
+  EXPECT_EQ(walsh_spectrum({0, 1, 0, 1}),
+            (std::vector<std::int64_t>{0, 4, 0, 0}));
+  // XOR: correlated with chi_{11}.
+  EXPECT_EQ(walsh_spectrum({0, 1, 1, 0}),
+            (std::vector<std::int64_t>{0, 0, 0, 4}));
+  // AND is bent-ish on 2 vars: all coefficients +/-2.
+  const auto and_spec = walsh_spectrum({0, 0, 0, 1});
+  for (std::int64_t v : and_spec) EXPECT_EQ(std::abs(v), 2);
+}
+
+TEST(WalshSpectrum, ParsevalHolds) {
+  std::mt19937_64 rng(81);
+  for (int n : {3, 4, 6}) {
+    std::vector<std::uint8_t> f(std::size_t{1} << n);
+    for (auto& v : f) v = static_cast<std::uint8_t>(rng() & 1);
+    const auto s = walsh_spectrum(f);
+    const std::int64_t energy = std::accumulate(
+        s.begin(), s.end(), std::int64_t{0},
+        [](std::int64_t acc, std::int64_t v) { return acc + v * v; });
+    EXPECT_EQ(energy, std::int64_t{1} << (2 * n));
+  }
+}
+
+TEST(WalshSpectrum, RejectsBadSizes) {
+  EXPECT_THROW(walsh_spectrum({0, 1, 0}), std::invalid_argument);
+  EXPECT_THROW(walsh_spectrum({}), std::invalid_argument);
+}
+
+TEST(IdentityDistance, ZeroOnlyForIdentity) {
+  EXPECT_EQ(identity_distance(TruthTable::identity(4)), 0);
+  EXPECT_EQ(identity_distance(TruthTable({1, 0})), 2);
+  // A NOT on line 0 of 3 lines mismatches every row in one bit.
+  Circuit c(3);
+  c.append(Gate(kConstOne, 0));
+  EXPECT_EQ(identity_distance(c.to_truth_table()), 8);
+}
+
+TEST(SpectralGreedy, SolvesEasyFunctions) {
+  const TruthTable fig1({1, 0, 7, 2, 3, 4, 5, 6});
+  const SpectralResult r = synthesize_spectral(fig1);
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(implements(r.circuit, fig1));
+}
+
+TEST(SpectralGreedy, IdentityNeedsNothing) {
+  const SpectralResult r = synthesize_spectral(TruthTable::identity(3));
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.circuit.gate_count(), 0);
+}
+
+TEST(SpectralGreedy, AlwaysCorrectWhenItSucceeds) {
+  std::mt19937_64 rng(82);
+  int solved = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const TruthTable spec = random_reversible_function(3, rng);
+    const SpectralResult r = synthesize_spectral(spec);
+    if (!r.success) continue;  // greedy may declare an error, per [18]
+    ++solved;
+    EXPECT_TRUE(implements(r.circuit, spec)) << spec.to_string();
+    EXPECT_EQ(r.circuit.gate_count(), r.translations);
+  }
+  // The greedy method solves roughly a third of random 3-variable
+  // functions (no backtracking); make sure a reasonable share succeeds.
+  EXPECT_GE(solved, 10);
+}
+
+TEST(SpectralGreedy, SidewaysMovesUnlockPlateaus) {
+  // With the pure strict rule ([18]'s "error declared" case) Fig. 1
+  // stalls on a plateau; sideways moves recover it.
+  const TruthTable fig1({1, 0, 7, 2, 3, 4, 5, 6});
+  SpectralOptions strict;
+  strict.sideways_limit = 0;
+  EXPECT_FALSE(synthesize_spectral(fig1, strict).success);
+  const SpectralResult relaxed = synthesize_spectral(fig1);
+  ASSERT_TRUE(relaxed.success);
+  EXPECT_TRUE(implements(relaxed.circuit, fig1));
+}
+
+TEST(SpectralGreedy, BidirectionalHelps) {
+  std::mt19937_64 rng(83);
+  int solved_uni = 0;
+  int solved_bi = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const TruthTable spec = random_reversible_function(4, rng);
+    SpectralOptions uni;
+    uni.bidirectional = false;
+    if (synthesize_spectral(spec, uni).success) ++solved_uni;
+    if (synthesize_spectral(spec).success) ++solved_bi;
+  }
+  EXPECT_GE(solved_bi, solved_uni);
+}
+
+TEST(SpectralGreedy, ReportsFailureWithoutBacktracking) {
+  // Pure wire swap: every single NCT gate leaves the distance unchanged
+  // or worse, so the strict greedy rule must declare an error ([18]'s
+  // noted weakness). Sideways moves walk the plateau and recover it.
+  SpectralOptions strict;
+  strict.sideways_limit = 0;
+  const TruthTable swap_ab({0, 2, 1, 3});
+  EXPECT_FALSE(synthesize_spectral(swap_ab, strict).success);
+  const SpectralResult relaxed = synthesize_spectral(swap_ab);
+  ASSERT_TRUE(relaxed.success);
+  EXPECT_TRUE(implements(relaxed.circuit, swap_ab));
+}
+
+}  // namespace
+}  // namespace rmrls

@@ -1,0 +1,98 @@
+// Tests for the structural PPRM builders (shifters, Gray code).
+
+#include "rev/structural.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "rev/pprm_transform.hpp"
+
+namespace rmrls {
+namespace {
+
+TEST(Graycode, PprmMatchesEvaluatorExhaustively) {
+  for (int n : {2, 4, 6}) {
+    const Pprm p = graycode_pprm(n);
+    for (std::uint64_t x = 0; x < (std::uint64_t{1} << n); ++x) {
+      EXPECT_EQ(p.eval(x), graycode_eval(n, x)) << "n=" << n << " x=" << x;
+    }
+  }
+}
+
+TEST(Graycode, TermCountIsLinear) {
+  EXPECT_EQ(graycode_pprm(6).term_count(), 11);    // 2n - 1
+  EXPECT_EQ(graycode_pprm(20).term_count(), 39);
+}
+
+TEST(Graycode, IsAPermutation) {
+  EXPECT_NO_THROW(truth_table_of_pprm(graycode_pprm(8)));
+}
+
+TEST(Graycode, WideConstructionSampled) {
+  const int n = 40;
+  const Pprm p = graycode_pprm(n);
+  std::mt19937_64 rng(21);
+  for (int i = 0; i < 512; ++i) {
+    const std::uint64_t x = rng() & ((std::uint64_t{1} << n) - 1);
+    EXPECT_EQ(p.eval(x), graycode_eval(n, x));
+  }
+}
+
+TEST(Shifter, PprmMatchesEvaluatorExhaustively) {
+  const int data = 4;  // 6 lines -> exhaustive check feasible
+  const Pprm p = shifter_pprm(data);
+  for (std::uint64_t x = 0; x < (std::uint64_t{1} << (data + 2)); ++x) {
+    EXPECT_EQ(p.eval(x), shifter_eval(data, x)) << "x=" << x;
+  }
+}
+
+TEST(Shifter, ControlsSelectAddedAmount) {
+  // Per Examples 6/7, "wraparound shift by k positions" adds k mod 2^n.
+  const int data = 5;
+  EXPECT_EQ(shifter_eval(data, 0b10110'00), 0b10110'00u);  // +0
+  EXPECT_EQ(shifter_eval(data, 0b10110'01), 0b10111'01u);  // +1
+  EXPECT_EQ(shifter_eval(data, 0b10110'10), 0b11000'10u);  // +2
+  EXPECT_EQ(shifter_eval(data, 0b11111'11), 0b00010'11u);  // +3 wraps
+}
+
+TEST(Shifter, ReferenceCircuitImplementsTheSpec) {
+  const int data = 6;
+  const Circuit c = shifter_reference_circuit(data);
+  EXPECT_EQ(c.gate_count(), 2 * data - 1);
+  for (std::uint64_t x = 0; x < (std::uint64_t{1} << (data + 2)); ++x) {
+    EXPECT_EQ(c.simulate(x), shifter_eval(data, x));
+  }
+}
+
+TEST(Shifter, IsAPermutation) {
+  EXPECT_NO_THROW(truth_table_of_pprm(shifter_pprm(6)));
+}
+
+TEST(Shifter, Shift28MatchesEvaluatorSampled) {
+  // 30 lines: the paper's widest benchmark; no truth table possible.
+  const Pprm p = shifter_pprm(28);
+  std::mt19937_64 rng(22);
+  for (int i = 0; i < 512; ++i) {
+    const std::uint64_t x = rng() & ((std::uint64_t{1} << 30) - 1);
+    EXPECT_EQ(p.eval(x), shifter_eval(28, x));
+  }
+}
+
+TEST(Shifter, TermBudgetIsSmall) {
+  // Each data output expands to at most 4 cubes (carry-chain structure).
+  const Pprm p = shifter_pprm(28);
+  for (int i = 2; i < 30; ++i) EXPECT_LE(p.output(i).size(), 4);
+  EXPECT_EQ(p.output(0).size(), 1);
+  EXPECT_EQ(p.output(1).size(), 1);
+}
+
+TEST(Structural, RejectsBadWidths) {
+  EXPECT_THROW(graycode_pprm(0), std::invalid_argument);
+  EXPECT_THROW(graycode_pprm(65), std::invalid_argument);
+  EXPECT_THROW(shifter_pprm(2), std::invalid_argument);
+  EXPECT_THROW(shifter_pprm(63), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rmrls

@@ -1,0 +1,73 @@
+// Tests for the permutation representation of reversible functions.
+
+#include "rev/truth_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rmrls {
+namespace {
+
+TEST(TruthTable, ValidatesBijectivity) {
+  EXPECT_NO_THROW(TruthTable({1, 0, 3, 2}));
+  EXPECT_THROW(TruthTable({0, 0, 1, 2}), std::invalid_argument);  // repeat
+  EXPECT_THROW(TruthTable({0, 1, 2, 4}), std::invalid_argument);  // range
+  EXPECT_THROW(TruthTable({0, 1, 2}), std::invalid_argument);  // not 2^n
+  EXPECT_THROW(TruthTable(std::vector<std::uint64_t>{}),
+               std::invalid_argument);
+}
+
+TEST(TruthTable, IdentityProperties) {
+  const TruthTable id = TruthTable::identity(3);
+  EXPECT_TRUE(id.is_identity());
+  EXPECT_TRUE(id.is_even());
+  EXPECT_EQ(id.num_vars(), 3);
+  EXPECT_EQ(id.size(), 8u);
+}
+
+TEST(TruthTable, ApplyAndOperator) {
+  const TruthTable f({1, 0, 7, 2, 3, 4, 5, 6});  // the paper's Fig. 1
+  EXPECT_EQ(f.apply(0), 1u);
+  EXPECT_EQ(f(2), 7u);
+  EXPECT_EQ(f(7), 6u);
+}
+
+TEST(TruthTable, CompositionOrder) {
+  // then() applies the receiver first.
+  const TruthTable f({1, 0, 2, 3});          // swap states 0,1
+  const TruthTable g({0, 2, 1, 3});          // swap states 1,2
+  const TruthTable fg = f.then(g);
+  EXPECT_EQ(fg(0), 2u);  // f: 0 -> 1, then g: 1 -> 2
+  EXPECT_EQ(fg(1), 0u);
+  const TruthTable gf = g.then(f);
+  EXPECT_EQ(gf(1), 2u);  // g: 1 -> 2, f fixes 2
+}
+
+TEST(TruthTable, CompositionWidthMismatchThrows) {
+  EXPECT_THROW(TruthTable::identity(2).then(TruthTable::identity(3)),
+               std::invalid_argument);
+}
+
+TEST(TruthTable, InverseComposesToIdentity) {
+  const TruthTable f({3, 0, 2, 7, 1, 4, 6, 5});
+  EXPECT_TRUE(f.then(f.inverse()).is_identity());
+  EXPECT_TRUE(f.inverse().then(f).is_identity());
+}
+
+TEST(TruthTable, ParityOfTransposition) {
+  // A single transposition is odd; two are even.
+  EXPECT_FALSE(TruthTable({1, 0, 2, 3}).is_even());
+  EXPECT_TRUE(TruthTable({1, 0, 3, 2}).is_even());
+}
+
+TEST(TruthTable, ParityIsMultiplicative) {
+  const TruthTable f({1, 0, 2, 3});  // odd
+  const TruthTable g({0, 2, 1, 3});  // odd
+  EXPECT_TRUE(f.then(g).is_even());  // odd * odd = even
+}
+
+TEST(TruthTable, ToStringUsesPaperNotation) {
+  EXPECT_EQ(TruthTable({1, 0}).to_string(), "{1, 0}");
+}
+
+}  // namespace
+}  // namespace rmrls

@@ -1,0 +1,220 @@
+/// \file rmrls_main.cpp
+/// \brief Command-line front end of the RMRLS synthesizer.
+///
+/// Usage:
+///   rmrls --perm "{1, 0, 7, 2, 3, 4, 5, 6}" [options]
+///   rmrls --spec FILE        (permutation spec file)
+///   rmrls --benchmark NAME   (named function from the paper's suite)
+///   rmrls --list             (list benchmark names)
+///
+/// Options:
+///   --alpha X --beta X --gamma X   priority weights (default 0.3 0.6 0.1)
+///   --greedy K                     keep best K substitutions per variable
+///   --max-gates N                  circuit size cap
+///   --max-nodes N                  search-node budget (default 200000)
+///   --time-ms N                    wall-clock limit
+///   --first                        stop at the first valid circuit
+///   --no-extra                     basic substitutions only (Section IV-A)
+///   --templates                    post-process with template pass
+///   --tfc                          print the circuit in .tfc format
+///   --fredkin                      extract Fredkin gates (mixed output)
+///   --bidir                        also try the inverse direction
+///   --resynth FILE.tfc             resynthesize an existing cascade
+///   --scope c|additional|any       non-reducing substitution scope
+///   --cbudget N --restart N --tt/--no-tt --cumul   search knobs
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "bench_suite/registry.hpp"
+#include "core/synthesizer.hpp"
+#include "io/spec.hpp"
+#include "io/tfc.hpp"
+#include "rev/pprm_transform.hpp"
+#include "rev/quantum_cost.hpp"
+#include "templates/fredkinize.hpp"
+#include "templates/simplify.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " (--perm SPEC | --spec FILE | --benchmark NAME | --list)"
+               " [options]\n"
+               "run with no arguments for the full option list in the file"
+               " header comment\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rmrls;
+  std::string perm_text;
+  std::string spec_file;
+  std::string benchmark;
+  SynthesisOptions options;
+  bool run_templates = false;
+  bool run_fredkinize = false;
+  bool bidirectional = false;
+  bool emit_tfc = false;
+  std::string tfc_file;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--perm") {
+      perm_text = next();
+    } else if (arg == "--spec") {
+      spec_file = next();
+    } else if (arg == "--benchmark") {
+      benchmark = next();
+    } else if (arg == "--list") {
+      for (const std::string& name : suite::benchmark_names()) {
+        std::cout << name << "\n";
+      }
+      return 0;
+    } else if (arg == "--alpha") {
+      options.alpha = std::stod(next());
+    } else if (arg == "--beta") {
+      options.beta = std::stod(next());
+    } else if (arg == "--gamma") {
+      options.gamma = std::stod(next());
+    } else if (arg == "--greedy") {
+      options.greedy_k = std::stoi(next());
+    } else if (arg == "--max-gates") {
+      options.max_gates = std::stoi(next());
+    } else if (arg == "--max-nodes") {
+      options.max_nodes = std::stoull(next());
+    } else if (arg == "--time-ms") {
+      options.time_limit = std::chrono::milliseconds(std::stoll(next()));
+    } else if (arg == "--stage-elim") {
+      options.cumulative_elim_priority = false;
+    } else if (arg == "--cumul") {
+      options.cumulative_elim_priority = true;
+    } else if (arg == "--tt") {
+      options.use_transposition_table = true;
+    } else if (arg == "--no-tt") {
+      options.use_transposition_table = false;
+    } else if (arg == "--cbudget") {
+      options.exempt_budget = std::stoi(next());
+    } else if (arg == "--scope") {
+      const std::string s = next();
+      options.exempt_scope =
+          s == "any"        ? SynthesisOptions::ExemptScope::kAny
+          : s == "additional" ? SynthesisOptions::ExemptScope::kAdditional
+                              : SynthesisOptions::ExemptScope::kComplement;
+    } else if (arg == "--restart") {
+      options.restart_interval = std::stoull(next());
+    } else if (arg == "--first") {
+      options.stop_at_first_solution = true;
+    } else if (arg == "--no-extra") {
+      options.allow_relaxed_targets = false;
+      options.allow_complement = false;
+    } else if (arg == "--templates") {
+      run_templates = true;
+    } else if (arg == "--fredkin") {
+      run_fredkinize = true;
+    } else if (arg == "--bidir") {
+      bidirectional = true;
+    } else if (arg == "--resynth") {
+      tfc_file = next();
+    } else if (arg == "--tfc") {
+      emit_tfc = true;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return usage(argv[0]);
+    }
+  }
+
+  try {
+    Pprm spec;
+    std::optional<TruthTable> table_spec;
+    if (!tfc_file.empty()) {
+      // Resynthesis mode: read a cascade and search for a better one
+      // realizing the same function.
+      std::ifstream in(tfc_file);
+      if (!in) {
+        std::cerr << "cannot open " << tfc_file << "\n";
+        return 1;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      const Circuit original = read_tfc(buf.str());
+      std::cerr << "resynthesizing " << original.gate_count()
+                << "-gate cascade on " << original.num_lines() << " lines\n";
+      spec = original.to_pprm();
+    } else if (!perm_text.empty()) {
+      table_spec = parse_permutation_spec(perm_text);
+      spec = pprm_of_truth_table(*table_spec);
+    } else if (!spec_file.empty()) {
+      std::ifstream in(spec_file);
+      if (!in) {
+        std::cerr << "cannot open " << spec_file << "\n";
+        return 1;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      spec = pprm_of_truth_table(parse_permutation_spec(buf.str()));
+    } else if (!benchmark.empty()) {
+      spec = suite::get_benchmark(benchmark).pprm;
+    } else {
+      return usage(argv[0]);
+    }
+
+    const SynthesisResult result =
+        bidirectional && table_spec
+            ? synthesize_bidirectional(*table_spec, options)
+            : synthesize(spec, options);
+    if (bidirectional && !table_spec) {
+      std::cerr << "note: --bidir needs an explicit permutation spec;"
+                   " running forward only\n";
+    }
+    if (!result.success) {
+      std::cerr << "synthesis failed within budget ("
+                << result.stats.nodes_expanded << " nodes expanded)\n";
+      return 1;
+    }
+    Circuit circuit = result.circuit;
+    if (run_templates) {
+      circuit = simplify_templates(circuit).circuit;
+    }
+    if (!implements(circuit, spec)) {
+      std::cerr << "internal error: circuit fails verification\n";
+      return 1;
+    }
+    if (run_fredkinize) {
+      const FredkinizeResult fr = fredkinize(circuit);
+      std::cout << fr.circuit.to_string() << "\n";
+      std::cout << "gates: " << fr.circuit.gate_count() << " ("
+                << fr.fredkin_gates << " Fredkin)"
+                << "  quantum cost: " << quantum_cost(fr.circuit)
+                << "  nodes: " << result.stats.nodes_expanded << "\n";
+      return 0;
+    }
+    // Stats go to stderr in .tfc mode so stdout stays a valid .tfc file.
+    std::ostream& stats_out = emit_tfc ? std::cerr : std::cout;
+    if (emit_tfc) {
+      std::cout << write_tfc(circuit);
+    } else {
+      std::cout << circuit.to_string() << "\n";
+    }
+    stats_out << "gates: " << circuit.gate_count()
+              << "  quantum cost: " << quantum_cost(circuit)
+              << "  nodes: " << result.stats.nodes_expanded
+              << "  time: " << result.stats.elapsed.count() << " us\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
