@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/budget_curve"
+  "../bench/budget_curve.pdb"
+  "CMakeFiles/budget_curve.dir/budget_curve.cpp.o"
+  "CMakeFiles/budget_curve.dir/budget_curve.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/budget_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/examples_suite"
+  "../bench/examples_suite.pdb"
+  "CMakeFiles/examples_suite.dir/examples_suite.cpp.o"
+  "CMakeFiles/examples_suite.dir/examples_suite.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/examples_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/hard_families"
+  "../bench/hard_families.pdb"
+  "CMakeFiles/hard_families.dir/hard_families.cpp.o"
+  "CMakeFiles/hard_families.dir/hard_families.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hard_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

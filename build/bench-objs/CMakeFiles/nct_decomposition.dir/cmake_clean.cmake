@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/nct_decomposition"
+  "../bench/nct_decomposition.pdb"
+  "CMakeFiles/nct_decomposition.dir/nct_decomposition.cpp.o"
+  "CMakeFiles/nct_decomposition.dir/nct_decomposition.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nct_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

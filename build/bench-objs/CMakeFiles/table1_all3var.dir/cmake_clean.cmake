@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_all3var"
+  "../bench/table1_all3var.pdb"
+  "CMakeFiles/table1_all3var.dir/table1_all3var.cpp.o"
+  "CMakeFiles/table1_all3var.dir/table1_all3var.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_all3var.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_random4"
+  "../bench/table2_random4.pdb"
+  "CMakeFiles/table2_random4.dir/table2_random4.cpp.o"
+  "CMakeFiles/table2_random4.dir/table2_random4.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_random4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_random5"
+  "../bench/table3_random5.pdb"
+  "CMakeFiles/table3_random5.dir/table3_random5.cpp.o"
+  "CMakeFiles/table3_random5.dir/table3_random5.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_random5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_scal15"
+  "../bench/table5_scal15.pdb"
+  "CMakeFiles/table5_scal15.dir/table5_scal15.cpp.o"
+  "CMakeFiles/table5_scal15.dir/table5_scal15.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_scal15.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

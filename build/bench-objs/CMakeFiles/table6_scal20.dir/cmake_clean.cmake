@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_scal20"
+  "../bench/table6_scal20.pdb"
+  "CMakeFiles/table6_scal20.dir/table6_scal20.cpp.o"
+  "CMakeFiles/table6_scal20.dir/table6_scal20.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_scal20.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

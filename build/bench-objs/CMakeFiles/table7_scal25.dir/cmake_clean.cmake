@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table7_scal25"
+  "../bench/table7_scal25.pdb"
+  "CMakeFiles/table7_scal25.dir/table7_scal25.cpp.o"
+  "CMakeFiles/table7_scal25.dir/table7_scal25.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_scal25.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adder_embedding.dir/adder_embedding.cpp.o"
+  "CMakeFiles/adder_embedding.dir/adder_embedding.cpp.o.d"
+  "adder_embedding"
+  "adder_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adder_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchmark_explorer.dir/benchmark_explorer.cpp.o"
+  "CMakeFiles/benchmark_explorer.dir/benchmark_explorer.cpp.o.d"
+  "benchmark_explorer"
+  "benchmark_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchmark_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esop_pipeline.dir/esop_pipeline.cpp.o"
+  "CMakeFiles/esop_pipeline.dir/esop_pipeline.cpp.o.d"
+  "esop_pipeline"
+  "esop_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esop_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_search.dir/random_search.cpp.o"
+  "CMakeFiles/random_search.dir/random_search.cpp.o.d"
+  "random_search"
+  "random_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toolchain_tour.dir/toolchain_tour.cpp.o"
+  "CMakeFiles/toolchain_tour.dir/toolchain_tour.cpp.o.d"
+  "toolchain_tour"
+  "toolchain_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toolchain_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/greedy_pprm.cpp" "src/CMakeFiles/rmrls.dir/baselines/greedy_pprm.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/baselines/greedy_pprm.cpp.o.d"
+  "/root/repo/src/baselines/optimal_bfs.cpp" "src/CMakeFiles/rmrls.dir/baselines/optimal_bfs.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/baselines/optimal_bfs.cpp.o.d"
+  "/root/repo/src/baselines/spectral.cpp" "src/CMakeFiles/rmrls.dir/baselines/spectral.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/baselines/spectral.cpp.o.d"
+  "/root/repo/src/baselines/transformation_based.cpp" "src/CMakeFiles/rmrls.dir/baselines/transformation_based.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/baselines/transformation_based.cpp.o.d"
+  "/root/repo/src/bench_suite/functions.cpp" "src/CMakeFiles/rmrls.dir/bench_suite/functions.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/bench_suite/functions.cpp.o.d"
+  "/root/repo/src/bench_suite/registry.cpp" "src/CMakeFiles/rmrls.dir/bench_suite/registry.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/bench_suite/registry.cpp.o.d"
+  "/root/repo/src/core/factor_enum.cpp" "src/CMakeFiles/rmrls.dir/core/factor_enum.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/core/factor_enum.cpp.o.d"
+  "/root/repo/src/core/search.cpp" "src/CMakeFiles/rmrls.dir/core/search.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/core/search.cpp.o.d"
+  "/root/repo/src/core/synthesizer.cpp" "src/CMakeFiles/rmrls.dir/core/synthesizer.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/core/synthesizer.cpp.o.d"
+  "/root/repo/src/esop/esop.cpp" "src/CMakeFiles/rmrls.dir/esop/esop.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/esop/esop.cpp.o.d"
+  "/root/repo/src/esop/minimize.cpp" "src/CMakeFiles/rmrls.dir/esop/minimize.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/esop/minimize.cpp.o.d"
+  "/root/repo/src/io/real_format.cpp" "src/CMakeFiles/rmrls.dir/io/real_format.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/io/real_format.cpp.o.d"
+  "/root/repo/src/io/spec.cpp" "src/CMakeFiles/rmrls.dir/io/spec.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/io/spec.cpp.o.d"
+  "/root/repo/src/io/table.cpp" "src/CMakeFiles/rmrls.dir/io/table.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/io/table.cpp.o.d"
+  "/root/repo/src/io/tfc.cpp" "src/CMakeFiles/rmrls.dir/io/tfc.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/io/tfc.cpp.o.d"
+  "/root/repo/src/rev/circuit.cpp" "src/CMakeFiles/rmrls.dir/rev/circuit.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/rev/circuit.cpp.o.d"
+  "/root/repo/src/rev/circuit_stats.cpp" "src/CMakeFiles/rmrls.dir/rev/circuit_stats.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/rev/circuit_stats.cpp.o.d"
+  "/root/repo/src/rev/decompose.cpp" "src/CMakeFiles/rmrls.dir/rev/decompose.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/rev/decompose.cpp.o.d"
+  "/root/repo/src/rev/embedding.cpp" "src/CMakeFiles/rmrls.dir/rev/embedding.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/rev/embedding.cpp.o.d"
+  "/root/repo/src/rev/embedding_search.cpp" "src/CMakeFiles/rmrls.dir/rev/embedding_search.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/rev/embedding_search.cpp.o.d"
+  "/root/repo/src/rev/equivalence.cpp" "src/CMakeFiles/rmrls.dir/rev/equivalence.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/rev/equivalence.cpp.o.d"
+  "/root/repo/src/rev/fredkin.cpp" "src/CMakeFiles/rmrls.dir/rev/fredkin.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/rev/fredkin.cpp.o.d"
+  "/root/repo/src/rev/polarity.cpp" "src/CMakeFiles/rmrls.dir/rev/polarity.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/rev/polarity.cpp.o.d"
+  "/root/repo/src/rev/pprm.cpp" "src/CMakeFiles/rmrls.dir/rev/pprm.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/rev/pprm.cpp.o.d"
+  "/root/repo/src/rev/pprm_transform.cpp" "src/CMakeFiles/rmrls.dir/rev/pprm_transform.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/rev/pprm_transform.cpp.o.d"
+  "/root/repo/src/rev/quantum_cost.cpp" "src/CMakeFiles/rmrls.dir/rev/quantum_cost.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/rev/quantum_cost.cpp.o.d"
+  "/root/repo/src/rev/random.cpp" "src/CMakeFiles/rmrls.dir/rev/random.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/rev/random.cpp.o.d"
+  "/root/repo/src/rev/structural.cpp" "src/CMakeFiles/rmrls.dir/rev/structural.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/rev/structural.cpp.o.d"
+  "/root/repo/src/rev/truth_table.cpp" "src/CMakeFiles/rmrls.dir/rev/truth_table.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/rev/truth_table.cpp.o.d"
+  "/root/repo/src/templates/fredkinize.cpp" "src/CMakeFiles/rmrls.dir/templates/fredkinize.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/templates/fredkinize.cpp.o.d"
+  "/root/repo/src/templates/simplify.cpp" "src/CMakeFiles/rmrls.dir/templates/simplify.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/templates/simplify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

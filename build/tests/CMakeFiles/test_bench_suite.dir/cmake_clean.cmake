@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bench_suite.dir/test_bench_suite.cpp.o"
+  "CMakeFiles/test_bench_suite.dir/test_bench_suite.cpp.o.d"
+  "test_bench_suite"
+  "test_bench_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bench_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_circuit_stats.dir/test_circuit_stats.cpp.o"
+  "CMakeFiles/test_circuit_stats.dir/test_circuit_stats.cpp.o.d"
+  "test_circuit_stats"
+  "test_circuit_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_circuit_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_embedding_search.dir/test_embedding_search.cpp.o"
+  "CMakeFiles/test_embedding_search.dir/test_embedding_search.cpp.o.d"
+  "test_embedding_search"
+  "test_embedding_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_embedding_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_factor_enum.dir/test_factor_enum.cpp.o"
+  "CMakeFiles/test_factor_enum.dir/test_factor_enum.cpp.o.d"
+  "test_factor_enum"
+  "test_factor_enum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_factor_enum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fredkin.dir/test_fredkin.cpp.o"
+  "CMakeFiles/test_fredkin.dir/test_fredkin.cpp.o.d"
+  "test_fredkin"
+  "test_fredkin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fredkin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

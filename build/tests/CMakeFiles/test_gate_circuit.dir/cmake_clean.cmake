@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gate_circuit.dir/test_gate_circuit.cpp.o"
+  "CMakeFiles/test_gate_circuit.dir/test_gate_circuit.cpp.o.d"
+  "test_gate_circuit"
+  "test_gate_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gate_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_polarity.dir/test_polarity.cpp.o"
+  "CMakeFiles/test_polarity.dir/test_polarity.cpp.o.d"
+  "test_polarity"
+  "test_polarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_polarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pprm.dir/test_pprm.cpp.o"
+  "CMakeFiles/test_pprm.dir/test_pprm.cpp.o.d"
+  "test_pprm"
+  "test_pprm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pprm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pprm_transform.dir/test_pprm_transform.cpp.o"
+  "CMakeFiles/test_pprm_transform.dir/test_pprm_transform.cpp.o.d"
+  "test_pprm_transform"
+  "test_pprm_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pprm_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quantum_cost.dir/test_quantum_cost.cpp.o"
+  "CMakeFiles/test_quantum_cost.dir/test_quantum_cost.cpp.o.d"
+  "test_quantum_cost"
+  "test_quantum_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quantum_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

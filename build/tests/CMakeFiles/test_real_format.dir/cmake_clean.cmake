@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_real_format.dir/test_real_format.cpp.o"
+  "CMakeFiles/test_real_format.dir/test_real_format.cpp.o.d"
+  "test_real_format"
+  "test_real_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_real_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

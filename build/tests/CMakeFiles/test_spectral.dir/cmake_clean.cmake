@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spectral.dir/test_spectral.cpp.o"
+  "CMakeFiles/test_spectral.dir/test_spectral.cpp.o.d"
+  "test_spectral"
+  "test_spectral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spectral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

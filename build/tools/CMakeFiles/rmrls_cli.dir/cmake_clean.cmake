@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmrls_cli.dir/rmrls_main.cpp.o"
+  "CMakeFiles/rmrls_cli.dir/rmrls_main.cpp.o.d"
+  "rmrls"
+  "rmrls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmrls_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rmrls_cli.
+# This may be replaced when dependencies are built.
