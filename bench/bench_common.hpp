@@ -6,13 +6,22 @@
 ///   --max-nodes N   per-function search budget
 ///   --full          paper-scale sample sizes (slow)
 ///   --seed N        RNG seed (default 20040216, the DATE'04 date)
+///   --json FILE     append one rmrls-metrics-v1 JSONL record per
+///                   synthesized function (see docs/observability.md)
+///   --help          print this option list and exit
 /// and print through io/table.hpp so outputs are diffable.
 
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
+
+#include "core/search.hpp"
+#include "obs/metrics.hpp"
 
 namespace rmrls::bench {
 
@@ -21,6 +30,18 @@ struct BenchArgs {
   std::uint64_t max_nodes = 0;
   bool full = false;
   std::uint64_t seed = 20040216;
+  std::string json_out;  // empty = no JSONL metrics
+
+  static void print_help(std::ostream& os) {
+    os << "options:\n"
+          "  --samples N     sample size (0 = binary-specific default)\n"
+          "  --max-nodes N   per-function search budget\n"
+          "  --full          paper-scale sample sizes (slow)\n"
+          "  --seed N        RNG seed (default 20040216)\n"
+          "  --json FILE     write one JSONL metrics record per"
+          " synthesized function\n"
+          "  --help          this text\n";
+  }
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs a;
@@ -33,21 +54,81 @@ struct BenchArgs {
         }
         return argv[++i];
       };
+      // std::stoull throws on junk; turn that into a clean diagnostic
+      // instead of an uncaught-exception abort.
+      const auto next_u64 = [&]() -> std::uint64_t {
+        const std::string value = next();
+        try {
+          std::size_t used = 0;
+          const std::uint64_t parsed = std::stoull(value, &used);
+          if (used != value.size()) throw std::invalid_argument(value);
+          return parsed;
+        } catch (const std::exception&) {
+          std::cerr << "invalid number for " << arg << ": '" << value
+                    << "'\n";
+          std::exit(2);
+        }
+      };
       if (arg == "--samples") {
-        a.samples = std::stoull(next());
+        a.samples = next_u64();
       } else if (arg == "--max-nodes") {
-        a.max_nodes = std::stoull(next());
+        a.max_nodes = next_u64();
       } else if (arg == "--full") {
         a.full = true;
       } else if (arg == "--seed") {
-        a.seed = std::stoull(next());
+        a.seed = next_u64();
+      } else if (arg == "--json") {
+        a.json_out = next();
+      } else if (arg == "--help" || arg == "-h") {
+        print_help(std::cout);
+        std::exit(0);
       } else {
         std::cerr << "unknown argument: " << arg << "\n";
+        print_help(std::cerr);
         std::exit(2);
       }
     }
     return a;
   }
+};
+
+/// JSONL metrics emitter for the harnesses: one record per synthesized
+/// function, same rmrls-metrics-v1 schema as `rmrls --metrics-out`.
+/// Construct from BenchArgs; when --json was not given every call is a
+/// no-op. Exits with a diagnostic if the file cannot be opened.
+class BenchJson {
+ public:
+  explicit BenchJson(const BenchArgs& args) {
+    if (args.json_out.empty()) return;
+    out_.open(args.json_out);
+    if (!out_) {
+      std::cerr << "cannot open " << args.json_out << " for writing\n";
+      std::exit(2);
+    }
+    enabled_ = true;
+  }
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Records one synthesis outcome. `circuit` is the final (possibly
+  /// post-processed) cascade; pass nullptr on failure.
+  void record(const std::string& name, int vars, const SynthesisResult& r,
+              const Circuit* circuit) {
+    if (!enabled_) return;
+    MetricsRegistry rec;
+    rec.set("name", name).set("vars", vars).set("success", r.success);
+    rec.add_stats(r.stats, r.termination);
+    if (circuit != nullptr) {
+      rec.add_circuit(*circuit);
+    } else {
+      rec.set("gates", -1).set("quantum_cost", -1);
+    }
+    MetricsWriter(out_).write(rec);
+  }
+
+ private:
+  std::ofstream out_;
+  bool enabled_ = false;
 };
 
 }  // namespace rmrls::bench

@@ -11,6 +11,7 @@
 #include "baselines/transformation_based.hpp"
 #include "core/factor_enum.hpp"
 #include "core/synthesizer.hpp"
+#include "obs/trace.hpp"
 #include "rev/pprm_transform.hpp"
 #include "rev/random.hpp"
 
@@ -105,6 +106,56 @@ void BM_Synthesize3Var(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Synthesize3Var);
+
+// Observability overhead guards. With `trace_sink == nullptr` (the
+// default, as in BM_Synthesize3Var/BM_SynthesizeFig1 above) every emission
+// site reduces to one inlined pointer test; the claim in
+// docs/observability.md is that this costs < 2% against the same search —
+// compare the *Disarmed pair below against its baseline. The NullSink
+// variant then pays the full event path (construction + virtual dispatch
+// into a sink that discards everything) at sampling interval 1, an upper
+// bound for any real sink before I/O.
+
+void BM_Synthesize3VarTraceDisarmed(benchmark::State& state) {
+  std::mt19937_64 rng(7);
+  const Pprm spec = pprm_of_truth_table(random_reversible_function(3, rng));
+  SynthesisOptions o;
+  o.max_nodes = 20000;
+  o.trace_sink = nullptr;  // explicit: the disabled-instrumentation path
+  o.phase_profile = nullptr;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synthesize(spec, o));
+  }
+}
+BENCHMARK(BM_Synthesize3VarTraceDisarmed);
+
+void BM_Synthesize3VarNullSink(benchmark::State& state) {
+  std::mt19937_64 rng(7);
+  const Pprm spec = pprm_of_truth_table(random_reversible_function(3, rng));
+  NullTraceSink sink;
+  SynthesisOptions o;
+  o.max_nodes = 20000;
+  o.trace_sink = &sink;
+  o.trace_sample_interval = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synthesize(spec, o));
+  }
+}
+BENCHMARK(BM_Synthesize3VarNullSink);
+
+void BM_Synthesize3VarNullSinkSampled(benchmark::State& state) {
+  std::mt19937_64 rng(7);
+  const Pprm spec = pprm_of_truth_table(random_reversible_function(3, rng));
+  NullTraceSink sink;
+  SynthesisOptions o;
+  o.max_nodes = 20000;
+  o.trace_sink = &sink;
+  o.trace_sample_interval = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synthesize(spec, o));
+  }
+}
+BENCHMARK(BM_Synthesize3VarNullSinkSampled);
 
 void BM_TransformationBased(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

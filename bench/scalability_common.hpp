@@ -28,6 +28,7 @@ inline int run_scalability_table(const char* title, int max_gate_count,
                                  std::uint64_t default_nodes, int argc,
                                  char** argv) {
   const BenchArgs args = BenchArgs::parse(argc, argv);
+  BenchJson json(args);
   const std::uint64_t samples =
       args.full ? paper_samples
                 : (args.samples ? args.samples : default_samples);
@@ -55,6 +56,8 @@ inline int run_scalability_table(const char* title, int max_gate_count,
       const Circuit random_cascade =
           random_circuit(vars, gate_count_dist(rng), GateLibrary::kGT, rng);
       const SynthesisResult r = synthesize(random_cascade.to_pprm(), options);
+      json.record(std::to_string(vars) + "var-" + std::to_string(i), vars, r,
+                  r.success ? &r.circuit : nullptr);
       if (!r.success) {
         ++fails;
         continue;

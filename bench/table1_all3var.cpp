@@ -51,6 +51,7 @@ struct Histogram {
 
 int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  bench::BenchJson json(args);
   const std::uint64_t sample =
       args.full ? 40320 : (args.samples ? args.samples : 4000);
 
@@ -71,18 +72,23 @@ int main(int argc, char** argv) {
   Histogram mmd_bidir;
   Histogram mmd_perm;  // bidirectional + output permutations + templates
 
+  std::uint64_t function_index = 0;
   const auto run_one = [&](const TruthTable& f) {
     const SynthesisResult r = synthesize(f, options);
     if (!r.success) {
       ++ours.fails;
       ++ours_templates.fails;
       ++ours_fredkin.fails;
+      json.record("3var-" + std::to_string(function_index), 3, r, nullptr);
     } else {
       ours.add(r.circuit.gate_count());
       const Circuit simplified = simplify_templates(r.circuit).circuit;
       ours_templates.add(simplified.gate_count());
       ours_fredkin.add(fredkinize(simplified).circuit.gate_count());
+      json.record("3var-" + std::to_string(function_index), 3, r,
+                  &r.circuit);
     }
+    ++function_index;
     mmd_basic.add(synthesize_transformation_based(f).gate_count());
     mmd_bidir.add(synthesize_transformation_bidir(f).gate_count());
     mmd_perm.add(simplify_templates(synthesize_transformation_perm(f))

@@ -18,6 +18,7 @@
 int main(int argc, char** argv) {
   using namespace rmrls;
   const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  bench::BenchJson json(args);
   const std::uint64_t sample =
       args.full ? 3000 : (args.samples ? args.samples : 60);
 
@@ -38,6 +39,8 @@ int main(int argc, char** argv) {
   for (std::uint64_t i = 0; i < sample; ++i) {
     const TruthTable f = random_reversible_function(5, rng);
     const SynthesisResult r = synthesize(f, options);
+    json.record("5var-" + std::to_string(i), 5, r,
+                r.success ? &r.circuit : nullptr);
     if (!r.success) {
       ++fails;
       continue;

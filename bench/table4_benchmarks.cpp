@@ -19,6 +19,7 @@
 int main(int argc, char** argv) {
   using namespace rmrls;
   const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  bench::BenchJson json(args);
 
   SynthesisOptions options;
   options.max_nodes = args.max_nodes ? args.max_nodes : 200000;
@@ -54,8 +55,10 @@ int main(int argc, char** argv) {
       const bool verified = implements(simplified, b.pprm);
       ok = verified ? "yes" : "NO";
       all_verified &= verified;
+      json.record(name, b.info.lines, r, &simplified);
     } else {
       ++failures;
+      json.record(name, b.info.lines, r, nullptr);
     }
     table.add_row({name + (b.info.nct_comparison ? "*" : ""),
                    std::to_string(b.info.lines), gates, cost,

@@ -240,4 +240,6 @@ bench-objs/CMakeFiles/micro_core.dir/micro_core.cpp.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /root/repo/src/rev/pprm_transform.hpp /root/repo/src/rev/random.hpp
+ /root/repo/src/obs/phase_profile.hpp /usr/include/c++/12/array \
+ /root/repo/src/obs/trace.hpp /root/repo/src/rev/pprm_transform.hpp \
+ /root/repo/src/rev/random.hpp

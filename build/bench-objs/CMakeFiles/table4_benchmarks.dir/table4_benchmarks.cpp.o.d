@@ -155,27 +155,34 @@ bench-objs/CMakeFiles/table4_benchmarks.dir/table4_benchmarks.cpp.o: \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/bench/bench_common.hpp \
- /root/repo/src/bench_suite/registry.hpp /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_uninitialized.h \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/rev/pprm.hpp \
- /root/repo/src/rev/cube.hpp /usr/include/c++/12/bit \
- /root/repo/src/rev/truth_table.hpp /root/repo/src/core/synthesizer.hpp \
- /root/repo/src/core/options.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/limits /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/cstddef \
- /root/repo/src/core/search.hpp /usr/include/c++/12/unordered_map \
+ /root/repo/bench/bench_common.hpp /usr/include/c++/12/fstream \
+ /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/core/search.hpp \
+ /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/core/factor_enum.hpp \
- /root/repo/src/rev/gate.hpp /root/repo/src/rev/circuit.hpp \
- /root/repo/src/io/table.hpp /root/repo/src/rev/quantum_cost.hpp \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/factor_enum.hpp \
+ /root/repo/src/core/options.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/cstddef \
+ /root/repo/src/rev/gate.hpp /root/repo/src/rev/cube.hpp \
+ /usr/include/c++/12/bit /root/repo/src/rev/pprm.hpp \
+ /root/repo/src/obs/phase_profile.hpp /usr/include/c++/12/array \
+ /root/repo/src/obs/trace.hpp /root/repo/src/rev/circuit.hpp \
+ /root/repo/src/rev/truth_table.hpp /root/repo/src/obs/metrics.hpp \
+ /root/repo/src/bench_suite/registry.hpp \
+ /root/repo/src/core/synthesizer.hpp /root/repo/src/io/table.hpp \
+ /root/repo/src/rev/quantum_cost.hpp \
  /root/repo/src/templates/simplify.hpp

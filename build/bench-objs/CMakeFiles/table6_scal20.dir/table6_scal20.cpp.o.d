@@ -188,12 +188,11 @@ bench-objs/CMakeFiles/table6_scal20.dir/table6_scal20.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h /usr/include/c++/12/bit \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/bench/bench_common.hpp /root/repo/src/core/synthesizer.hpp \
- /root/repo/src/core/options.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
- /usr/include/c++/12/cstddef /root/repo/src/core/search.hpp \
+ /root/repo/bench/bench_common.hpp /usr/include/c++/12/fstream \
+ /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/core/search.hpp \
  /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/hashtable.h \
@@ -203,7 +202,14 @@ bench-objs/CMakeFiles/table6_scal20.dir/table6_scal20.cpp.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/core/factor_enum.hpp \
- /root/repo/src/rev/gate.hpp /root/repo/src/rev/cube.hpp \
- /root/repo/src/rev/pprm.hpp /root/repo/src/rev/circuit.hpp \
- /root/repo/src/rev/truth_table.hpp /root/repo/src/io/table.hpp \
+ /root/repo/src/core/options.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
+ /usr/include/c++/12/cstddef /root/repo/src/rev/gate.hpp \
+ /root/repo/src/rev/cube.hpp /root/repo/src/rev/pprm.hpp \
+ /root/repo/src/obs/phase_profile.hpp /usr/include/c++/12/array \
+ /root/repo/src/obs/trace.hpp /root/repo/src/rev/circuit.hpp \
+ /root/repo/src/rev/truth_table.hpp /root/repo/src/obs/metrics.hpp \
+ /root/repo/src/core/synthesizer.hpp /root/repo/src/io/table.hpp \
  /root/repo/src/rev/random.hpp

@@ -175,6 +175,8 @@ examples/CMakeFiles/adder_embedding.dir/adder_embedding.cpp.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/core/factor_enum.hpp \
- /root/repo/src/rev/gate.hpp /root/repo/src/rev/circuit.hpp \
- /root/repo/src/rev/embedding.hpp /root/repo/src/rev/embedding_search.hpp \
+ /root/repo/src/rev/gate.hpp /root/repo/src/obs/phase_profile.hpp \
+ /usr/include/c++/12/array /root/repo/src/obs/trace.hpp \
+ /root/repo/src/rev/circuit.hpp /root/repo/src/rev/embedding.hpp \
+ /root/repo/src/rev/embedding_search.hpp \
  /root/repo/src/rev/quantum_cost.hpp

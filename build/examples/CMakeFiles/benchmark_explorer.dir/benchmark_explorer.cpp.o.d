@@ -175,7 +175,9 @@ examples/CMakeFiles/benchmark_explorer.dir/benchmark_explorer.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/factor_enum.hpp \
  /root/repo/src/rev/gate.hpp /root/repo/src/rev/cube.hpp \
  /usr/include/c++/12/bit /root/repo/src/rev/pprm.hpp \
- /root/repo/src/rev/circuit.hpp /root/repo/src/rev/truth_table.hpp \
+ /root/repo/src/obs/phase_profile.hpp /usr/include/c++/12/array \
+ /root/repo/src/obs/trace.hpp /root/repo/src/rev/circuit.hpp \
+ /root/repo/src/rev/truth_table.hpp \
  /root/repo/src/baselines/transformation_based.hpp \
  /root/repo/src/bench_suite/registry.hpp /usr/include/c++/12/optional \
  /root/repo/src/core/synthesizer.hpp /root/repo/src/io/table.hpp \

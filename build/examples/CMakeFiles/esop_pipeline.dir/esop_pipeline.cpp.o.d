@@ -172,8 +172,9 @@ examples/CMakeFiles/esop_pipeline.dir/esop_pipeline.cpp.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/factor_enum.hpp \
  /root/repo/src/rev/gate.hpp /root/repo/src/rev/cube.hpp \
- /root/repo/src/rev/pprm.hpp /root/repo/src/rev/circuit.hpp \
- /root/repo/src/rev/truth_table.hpp /root/repo/src/esop/esop.hpp \
- /root/repo/src/esop/minimize.hpp /root/repo/src/rev/embedding.hpp \
- /root/repo/src/rev/pprm_transform.hpp \
+ /root/repo/src/rev/pprm.hpp /root/repo/src/obs/phase_profile.hpp \
+ /usr/include/c++/12/array /root/repo/src/obs/trace.hpp \
+ /root/repo/src/rev/circuit.hpp /root/repo/src/rev/truth_table.hpp \
+ /root/repo/src/esop/esop.hpp /root/repo/src/esop/minimize.hpp \
+ /root/repo/src/rev/embedding.hpp /root/repo/src/rev/pprm_transform.hpp \
  /root/repo/src/rev/quantum_cost.hpp

@@ -174,6 +174,8 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/factor_enum.hpp \
  /root/repo/src/rev/gate.hpp /root/repo/src/rev/cube.hpp \
  /usr/include/c++/12/bit /root/repo/src/rev/pprm.hpp \
- /root/repo/src/rev/circuit.hpp /root/repo/src/rev/truth_table.hpp \
- /root/repo/src/io/tfc.hpp /root/repo/src/rev/pprm_transform.hpp \
+ /root/repo/src/obs/phase_profile.hpp /usr/include/c++/12/array \
+ /root/repo/src/obs/trace.hpp /root/repo/src/rev/circuit.hpp \
+ /root/repo/src/rev/truth_table.hpp /root/repo/src/io/tfc.hpp \
+ /root/repo/src/rev/pprm_transform.hpp \
  /root/repo/src/rev/quantum_cost.hpp

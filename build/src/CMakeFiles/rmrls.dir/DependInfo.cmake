@@ -23,6 +23,10 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/io/spec.cpp" "src/CMakeFiles/rmrls.dir/io/spec.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/io/spec.cpp.o.d"
   "/root/repo/src/io/table.cpp" "src/CMakeFiles/rmrls.dir/io/table.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/io/table.cpp.o.d"
   "/root/repo/src/io/tfc.cpp" "src/CMakeFiles/rmrls.dir/io/tfc.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/io/tfc.cpp.o.d"
+  "/root/repo/src/obs/json.cpp" "src/CMakeFiles/rmrls.dir/obs/json.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/obs/json.cpp.o.d"
+  "/root/repo/src/obs/metrics.cpp" "src/CMakeFiles/rmrls.dir/obs/metrics.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/obs/metrics.cpp.o.d"
+  "/root/repo/src/obs/phase_profile.cpp" "src/CMakeFiles/rmrls.dir/obs/phase_profile.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/obs/phase_profile.cpp.o.d"
+  "/root/repo/src/obs/trace.cpp" "src/CMakeFiles/rmrls.dir/obs/trace.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/obs/trace.cpp.o.d"
   "/root/repo/src/rev/circuit.cpp" "src/CMakeFiles/rmrls.dir/rev/circuit.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/rev/circuit.cpp.o.d"
   "/root/repo/src/rev/circuit_stats.cpp" "src/CMakeFiles/rmrls.dir/rev/circuit_stats.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/rev/circuit_stats.cpp.o.d"
   "/root/repo/src/rev/decompose.cpp" "src/CMakeFiles/rmrls.dir/rev/decompose.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/rev/decompose.cpp.o.d"

@@ -175,5 +175,6 @@ src/CMakeFiles/rmrls.dir/baselines/greedy_pprm.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/factor_enum.hpp \
  /root/repo/src/rev/gate.hpp /root/repo/src/rev/cube.hpp \
  /usr/include/c++/12/bit /root/repo/src/rev/pprm.hpp \
- /root/repo/src/rev/circuit.hpp /root/repo/src/rev/truth_table.hpp \
- /root/repo/src/rev/pprm_transform.hpp
+ /root/repo/src/obs/phase_profile.hpp /usr/include/c++/12/array \
+ /root/repo/src/obs/trace.hpp /root/repo/src/rev/circuit.hpp \
+ /root/repo/src/rev/truth_table.hpp /root/repo/src/rev/pprm_transform.hpp

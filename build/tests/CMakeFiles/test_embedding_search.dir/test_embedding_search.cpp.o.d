@@ -176,9 +176,11 @@ tests/CMakeFiles/test_embedding_search.dir/test_embedding_search.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/factor_enum.hpp \
  /root/repo/src/rev/gate.hpp /root/repo/src/rev/cube.hpp \
  /usr/include/c++/12/bit /root/repo/src/rev/pprm.hpp \
- /root/repo/src/rev/circuit.hpp /root/repo/src/rev/truth_table.hpp \
- /root/repo/src/rev/embedding.hpp /root/miniconda/include/gtest/gtest.h \
- /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
+ /root/repo/src/obs/phase_profile.hpp /usr/include/c++/12/array \
+ /root/repo/src/obs/trace.hpp /root/repo/src/rev/circuit.hpp \
+ /root/repo/src/rev/truth_table.hpp /root/repo/src/rev/embedding.hpp \
+ /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bits/unique_ptr.h \
  /usr/include/c++/12/bits/shared_ptr.h \
@@ -286,7 +288,7 @@ tests/CMakeFiles/test_embedding_search.dir/test_embedding_search.cpp.o: \
  /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/utility \

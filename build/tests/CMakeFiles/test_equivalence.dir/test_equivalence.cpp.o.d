@@ -325,4 +325,6 @@ tests/CMakeFiles/test_equivalence.dir/test_equivalence.cpp.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/rev/random.hpp /root/repo/src/rev/structural.hpp \
  /root/repo/src/templates/fredkinize.hpp \
- /root/repo/src/templates/simplify.hpp
+ /root/repo/src/templates/simplify.hpp \
+ /root/repo/src/obs/phase_profile.hpp /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio

@@ -5,10 +5,16 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 add_test(cli_fig1 "/root/repo/build/tools/rmrls" "--perm" "{1, 0, 7, 2, 3, 4, 5, 6}")
-set_tests_properties(cli_fig1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(cli_fig1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(cli_list "/root/repo/build/tools/rmrls" "--list")
-set_tests_properties(cli_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(cli_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(cli_benchmark "/root/repo/build/tools/rmrls" "--benchmark" "3_17" "--templates" "--fredkin")
-set_tests_properties(cli_benchmark PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(cli_benchmark PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(cli_bad_args "/root/repo/build/tools/rmrls" "--nonsense")
-set_tests_properties(cli_bad_args PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(cli_bad_args PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_help "/root/repo/build/tools/rmrls" "--help")
+set_tests_properties(cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_metrics "/root/repo/build/tools/rmrls" "--benchmark" "3_17" "--templates" "--metrics-out" "/root/repo/build/tools/cli_metrics.jsonl" "--trace" "/root/repo/build/tools/cli_trace.jsonl" "--progress")
+set_tests_properties(cli_metrics PROPERTIES  FIXTURES_SETUP "cli_metrics_out" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_metrics_schema "/root/repo/build/tools/metrics_check" "/root/repo/build/tools/cli_metrics.jsonl")
+set_tests_properties(cli_metrics_schema PROPERTIES  FIXTURES_REQUIRED "cli_metrics_out" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")

@@ -9,6 +9,9 @@
 
 namespace rmrls {
 
+class TraceSink;      // obs/trace.hpp
+struct PhaseProfile;  // obs/phase_profile.hpp
+
 /// Options controlling the RMRLS best-first search. Defaults reproduce the
 /// paper's configuration: priority weights (0.3, 0.6, 0.1), both classes of
 /// additional substitutions enabled, and the restart heuristic armed at
@@ -95,6 +98,24 @@ struct SynthesisOptions {
   /// within budget (the scalability experiments of Section V-E do this).
   bool stop_at_first_solution = false;
 
+  /// Observability (obs/): receiver for typed search events. Null (the
+  /// default) disables tracing entirely — the hot path pays one inlined
+  /// pointer test per potential event and nothing else.
+  TraceSink* trace_sink = nullptr;
+
+  /// Sampling interval for the two high-frequency event kinds
+  /// (node_expanded, child_pruned): only every Nth node expansion emits
+  /// them. 1 = every event (required for the event/counter consistency
+  /// checks in tests); solutions, restarts, queue drops and run
+  /// begin/end are never sampled away.
+  std::uint64_t trace_sample_interval = 1;
+
+  /// Observability (obs/): accumulator for per-phase wall time and call
+  /// counts. Null (the default) disables the phase timers — no clock
+  /// reads on the hot path. The drivers share one profile across
+  /// refinement reruns, so it aggregates the whole synthesis.
+  PhaseProfile* phase_profile = nullptr;
+
   /// Our extension (ablated in bench/ablation): after a circuit of size D
   /// is found, restart the whole search with max_gates = D - 1 on the
   /// remaining node budget, repeating until a search fails. The tighter cap
@@ -103,14 +124,48 @@ struct SynthesisOptions {
   bool iterative_refinement = true;
 };
 
-/// Counters describing one synthesis run.
+/// Why a synthesis run stopped. `kSolved` means the run ended *because* a
+/// solution ended it (identity input, or stop-at-first fired); a best-first
+/// run that found circuits and then exhausted its budget while refining
+/// reports the budget reason — the two were previously indistinguishable.
+enum class TerminationReason : std::uint8_t {
+  kSolved,          ///< stopped by a solution (stop-at-first / identity)
+  kNodeBudget,      ///< max_nodes expansions reached
+  kTimeLimit,       ///< wall-clock deadline passed
+  kQueueExhausted,  ///< queue (and restart seeds) ran dry
+};
+
+[[nodiscard]] constexpr const char* to_string(TerminationReason reason) {
+  switch (reason) {
+    case TerminationReason::kSolved: return "solved";
+    case TerminationReason::kNodeBudget: return "node_budget";
+    case TerminationReason::kTimeLimit: return "time_limit";
+    case TerminationReason::kQueueExhausted: return "queue_exhausted";
+  }
+  return "unknown";
+}
+
+/// Counters describing one synthesis run. Every evaluated candidate is
+/// counted exactly once, so (excluding stop-at-first runs, which abandon
+/// the remainder of the last expansion):
+///
+///   children_created == children_pushed + solutions_found + pruned_elim
+///                     + pruned_depth + pruned_max_gates + pruned_duplicate
+///                     + pruned_greedy + dropped_queue_full
+///
+/// an invariant asserted by tests/test_obs.cpp. `pruned_stale` counts
+/// *popped* entries (already in children_pushed) discarded at expansion
+/// time, so it is deliberately outside the identity.
 struct SynthesisStats {
   std::uint64_t nodes_expanded = 0;   ///< priority-queue pops
   std::uint64_t children_created = 0; ///< substitutions evaluated
   std::uint64_t children_pushed = 0;  ///< survived pruning, enqueued
   std::uint64_t pruned_elim = 0;      ///< failed the elim > 0 rule
   std::uint64_t pruned_depth = 0;     ///< at/beyond bestDepth - 1
+  std::uint64_t pruned_max_gates = 0; ///< at/beyond the max_gates cap
   std::uint64_t pruned_duplicate = 0; ///< transposition-table hits
+  std::uint64_t pruned_greedy = 0;    ///< beyond greedy_k for its target
+  std::uint64_t pruned_stale = 0;     ///< popped entries obsolete at pop time
   std::uint64_t dropped_queue_full = 0;
   std::uint64_t restarts = 0;
   std::uint64_t solutions_found = 0;

@@ -14,19 +14,35 @@ Search::Search(Pprm start, SynthesisOptions options)
     : start_(std::move(start)),
       options_(options),
       num_vars_(start_.num_vars()),
-      initial_terms_(start_.term_count()) {}
+      initial_terms_(start_.term_count()),
+      sink_(options.trace_sink),
+      profile_(options.phase_profile) {}
 
 void Search::push_entry(QueueEntry entry) {
   if (heap_.size() >= options_.max_queue) {
     ++stats_.dropped_queue_full;
+    if (sink_) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kQueueDrop;
+      e.depth = entry.node >= 0 ? arena_[entry.node].depth : 0;
+      e.terms = entry.terms;
+      emit(e);
+    }
     return;
   }
-  heap_.push_back(std::move(entry));
-  std::push_heap(heap_.begin(), heap_.end(), EntryLess{});
+  push_uncounted(std::move(entry));
   ++stats_.children_pushed;
 }
 
+void Search::push_uncounted(QueueEntry entry) {
+  if (heap_.size() >= options_.max_queue) return;  // re-seed into a full heap
+  const ScopedPhaseTimer timer(profile_, Phase::kHeapOps);
+  heap_.push_back(std::move(entry));
+  std::push_heap(heap_.begin(), heap_.end(), EntryLess{});
+}
+
 Search::QueueEntry Search::pop_entry() {
+  const ScopedPhaseTimer timer(profile_, Phase::kHeapOps);
   std::pop_heap(heap_.begin(), heap_.end(), EntryLess{});
   QueueEntry e = std::move(heap_.back());
   heap_.pop_back();
@@ -61,8 +77,12 @@ bool Search::expand(QueueEntry entry) {
   const NodeRecord node = arena_[entry.node];
   const Candidate skip{node.gate.target, node.gate.controls};
   const bool is_root = node.parent < 0;
-  const std::vector<Candidate> candidates = enumerate_candidates(
-      entry.pprm, options_, is_root ? nullptr : &skip);
+  std::vector<Candidate> candidates;
+  {
+    const ScopedPhaseTimer timer(profile_, Phase::kFactorEnum);
+    candidates = enumerate_candidates(entry.pprm, options_,
+                                      is_root ? nullptr : &skip);
+  }
 
   // Children are priced read-only (substitute_delta); only the ones that
   // survive pruning are materialized, which is the search's hot path.
@@ -76,26 +96,31 @@ bool Search::expand(QueueEntry entry) {
   const int child_depth = node.depth + 1;
   std::vector<ChildEval> children;
   children.reserve(candidates.size());
-  for (const Candidate& cand : candidates) {
-    ChildEval ce;
-    ce.cand = cand;
-    const int delta = entry.pprm.substitute_delta(cand.target, cand.factor);
-    ce.terms = entry.terms + delta;
-    ce.elim = -delta;
-    ce.priority = priority_of(child_depth, ce.elim,
-                              initial_terms_ - ce.terms, cand.factor);
-    if (ce.terms == num_vars_) {
-      // Only a system with exactly one term per output can be the
-      // identity; confirm by materializing.
-      Pprm materialized = entry.pprm;
-      materialized.substitute(cand.target, cand.factor);
-      ce.solved = materialized.is_identity();
+  {
+    const ScopedPhaseTimer timer(profile_, Phase::kSubstitute);
+    for (const Candidate& cand : candidates) {
+      ChildEval ce;
+      ce.cand = cand;
+      const int delta = entry.pprm.substitute_delta(cand.target, cand.factor);
+      ce.terms = entry.terms + delta;
+      ce.elim = -delta;
+      ce.priority = priority_of(child_depth, ce.elim,
+                                initial_terms_ - ce.terms, cand.factor);
+      if (ce.terms == num_vars_) {
+        // Only a system with exactly one term per output can be the
+        // identity; confirm by materializing.
+        Pprm materialized = entry.pprm;
+        materialized.substitute(cand.target, cand.factor);
+        ce.solved = materialized.is_identity();
+      }
+      ++stats_.children_created;
+      children.push_back(ce);
     }
-    ++stats_.children_created;
-    children.push_back(ce);
   }
 
-  // Record solutions first so greedy pruning can never drop one.
+  // Record solutions first so greedy pruning can never drop one. Solved
+  // children that do not improve on the best depth are depth-pruned like
+  // any other child at/beyond bestDepth.
   for (const ChildEval& ce : children) {
     if (!ce.solved) continue;
     if (best_depth_ < 0 || child_depth < best_depth_) {
@@ -105,7 +130,19 @@ bool Search::expand(QueueEntry entry) {
       best_depth_ = child_depth;
       ++stats_.solutions_found;
       pops_since_improvement_ = 0;
-      if (options_.stop_at_first_solution) return true;
+      TraceEvent e;
+      e.kind = TraceEventKind::kSolutionFound;
+      e.depth = child_depth;
+      e.terms = num_vars_;
+      e.gates = child_depth;
+      emit(e);
+      if (options_.stop_at_first_solution) {
+        termination_ = TerminationReason::kSolved;
+        return true;
+      }
+    } else {
+      ++stats_.pruned_depth;
+      emit_prune(PruneReason::kDepth, child_depth, ce.terms);
     }
   }
 
@@ -132,6 +169,8 @@ bool Search::expand(QueueEntry entry) {
       if (taken < options_.greedy_k) {
         kept.push_back(std::move(ce));
         ++taken;
+      } else {
+        ++stats_.pruned_greedy;
       }
     }
     children = std::move(kept);
@@ -165,25 +204,32 @@ bool Search::expand(QueueEntry entry) {
                    (node.exempt && options_.forbid_exempt_chains) ||
                    node.exempt_count >= exempt_budget)) {
       ++stats_.pruned_elim;
+      emit_prune(PruneReason::kElim, child_depth, ce.terms);
       continue;
     }
     if (best_depth_ >= 0 && child_depth >= best_depth_ - 1) {
       ++stats_.pruned_depth;
+      emit_prune(PruneReason::kDepth, child_depth, ce.terms);
       continue;
     }
     if (options_.max_gates > 0 && child_depth >= options_.max_gates) {
-      ++stats_.pruned_depth;
+      ++stats_.pruned_max_gates;
+      emit_prune(PruneReason::kMaxGates, child_depth, ce.terms);
       continue;
     }
     // Materialize only now: everything pruned above never paid for a copy.
     Pprm materialized = entry.pprm;
-    materialized.substitute(ce.cand.target, ce.cand.factor);
+    {
+      const ScopedPhaseTimer timer(profile_, Phase::kSubstitute);
+      materialized.substitute(ce.cand.target, ce.cand.factor);
+    }
     if (options_.use_transposition_table) {
       const auto [it, inserted] =
           seen_.try_emplace(materialized.hash(), child_depth);
       if (!inserted) {
         if (it->second <= child_depth) {
           ++stats_.pruned_duplicate;
+          emit_prune(PruneReason::kDuplicate, child_depth, ce.terms);
           continue;
         }
         it->second = child_depth;
@@ -210,6 +256,11 @@ void Search::restart() {
   pops_since_improvement_ = 0;
   heap_.clear();
   ++restart_index_;
+  {
+    TraceEvent e;
+    e.kind = TraceEventKind::kRestart;
+    emit(e);
+  }
   // Re-seed with the remaining first-level alternatives, skipping the
   // leaders already pursued (paper, Section IV-E: "restart the search from
   // the top of the search tree with a different substitution").
@@ -218,25 +269,38 @@ void Search::restart() {
                                                   const QueueEntry& b) {
     return EntryLess{}(b, a);  // descending priority
   });
+  // Re-seeds were already counted as children when first created.
   for (std::size_t i = restart_index_; i < seeds.size(); ++i) {
-    push_entry(seeds[i]);
+    push_uncounted(seeds[i]);
   }
 }
 
 SynthesisResult Search::run() {
   SynthesisResult result;
   result.initial_terms = initial_terms_;
-  const auto start_time = Clock::now();
+  run_start_ = Clock::now();
   const auto deadline =
       options_.time_limit.count() > 0
-          ? start_time + options_.time_limit
+          ? run_start_ + options_.time_limit
           : Clock::time_point::max();
+
+  {
+    TraceEvent e;
+    e.kind = TraceEventKind::kRunBegin;
+    e.terms = initial_terms_;
+    emit(e);
+  }
 
   if (start_.is_identity()) {
     result.success = true;
     result.circuit = Circuit(num_vars_);
+    result.termination = TerminationReason::kSolved;
     result.stats.elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
-        Clock::now() - start_time);
+        Clock::now() - run_start_);
+    TraceEvent e;
+    e.kind = TraceEventKind::kRunEnd;
+    e.gates = 0;
+    emit(e);
     return result;
   }
 
@@ -247,14 +311,16 @@ SynthesisResult Search::run() {
   root.node = 0;
   root.terms = initial_terms_;
   root.pprm = start_;
-  push_entry(std::move(root));
-  stats_.children_pushed = 0;  // the root is not a child
+  push_uncounted(std::move(root));  // the root is not a child
 
+  termination_ = TerminationReason::kQueueExhausted;
   while (!heap_.empty()) {
     if (options_.max_nodes > 0 && stats_.nodes_expanded >= options_.max_nodes) {
+      termination_ = TerminationReason::kNodeBudget;
       break;
     }
     if ((stats_.nodes_expanded & 0x3f) == 0 && Clock::now() >= deadline) {
+      termination_ = TerminationReason::kTimeLimit;
       break;
     }
     // The restart heuristic (Section IV-E) fires only while no solution
@@ -273,25 +339,45 @@ SynthesisResult Search::run() {
     ++pops_since_improvement_;
 
     const int depth = arena_[entry.node].depth;
+    if (sink_) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kNodeExpanded;
+      e.depth = depth;
+      e.terms = entry.terms;
+      e.priority = entry.priority;
+      emit(e, /*sampled=*/true);
+    }
+    // Entries enqueued before the best solution shrank are discarded here;
+    // they were counted children_pushed at creation, so they get their own
+    // counter instead of the child-prune ones.
     if (best_depth_ >= 0 && depth >= best_depth_ - 1) {
-      ++stats_.pruned_depth;
+      ++stats_.pruned_stale;
+      emit_prune(PruneReason::kStale, depth, entry.terms);
       continue;
     }
     if (options_.max_gates > 0 && depth >= options_.max_gates) {
-      ++stats_.pruned_depth;
+      ++stats_.pruned_stale;
+      emit_prune(PruneReason::kStale, depth, entry.terms);
       continue;
     }
     if (expand(std::move(entry))) break;  // stop-at-first fired
   }
 
   stats_.elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
-      Clock::now() - start_time);
+      Clock::now() - run_start_);
   result.stats = stats_;
+  result.termination = termination_;
   if (best_node_ >= 0) {
     result.success = true;
     result.circuit = extract_circuit(best_node_);
   } else {
     result.circuit = Circuit(num_vars_);
+  }
+  {
+    TraceEvent e;
+    e.kind = TraceEventKind::kRunEnd;
+    e.gates = best_depth_;
+    emit(e);
   }
   return result;
 }

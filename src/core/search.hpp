@@ -15,6 +15,8 @@
 
 #include "core/factor_enum.hpp"
 #include "core/options.hpp"
+#include "obs/phase_profile.hpp"
+#include "obs/trace.hpp"
 #include "rev/circuit.hpp"
 #include "rev/pprm.hpp"
 
@@ -26,6 +28,10 @@ struct SynthesisResult {
   Circuit circuit;  ///< empty (zero-gate) circuit when `!success`
   int initial_terms = 0;
   SynthesisStats stats;
+  /// Why the run stopped. For the multi-pass drivers (refinement,
+  /// bidirectional) this is the reason of the final Search pass, i.e. why
+  /// the overall synthesis stopped looking for better circuits.
+  TerminationReason termination = TerminationReason::kQueueExhausted;
 };
 
 /// One run of the best-first search. Not reusable; construct per call.
@@ -67,7 +73,11 @@ class Search {
     }
   };
 
+  /// Enqueues a new child, counting it (children_pushed / queue drops).
   void push_entry(QueueEntry entry);
+  /// Enqueues without touching the counters — root seeding and restart
+  /// re-seeds re-push entries that were already counted at creation.
+  void push_uncounted(QueueEntry entry);
   [[nodiscard]] QueueEntry pop_entry();
 
   /// Expands `entry`: evaluates every candidate substitution, records
@@ -104,6 +114,41 @@ class Search {
   std::unordered_map<std::size_t, std::int32_t> seen_;
 
   SynthesisStats stats_;
+  TerminationReason termination_ = TerminationReason::kQueueExhausted;
+
+  /// Observability (obs/): both observers are null unless installed via
+  /// SynthesisOptions; the emission sites reduce to one pointer test each.
+  TraceSink* sink_ = nullptr;
+  PhaseProfile* profile_ = nullptr;
+  std::chrono::steady_clock::time_point run_start_{};
+
+  /// Emits `event` if a sink is installed, stamping the running node
+  /// counter, queue size, and microseconds since run start. `sampled`
+  /// events additionally honour trace_sample_interval.
+  void emit(TraceEvent event, bool sampled = false) {
+    if (sink_ == nullptr) return;
+    if (sampled && options_.trace_sample_interval > 1 &&
+        stats_.nodes_expanded % options_.trace_sample_interval != 0) {
+      return;
+    }
+    event.nodes_expanded = stats_.nodes_expanded;
+    event.queue_size = heap_.size();
+    event.t_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - run_start_)
+            .count());
+    sink_->on_event(event);
+  }
+
+  void emit_prune(PruneReason reason, std::int32_t depth, std::int32_t terms) {
+    if (sink_ == nullptr) return;  // keep the hot path to one pointer test
+    TraceEvent e;
+    e.kind = TraceEventKind::kChildPruned;
+    e.prune_reason = reason;
+    e.depth = depth;
+    e.terms = terms;
+    emit(e, /*sampled=*/true);
+  }
 };
 
 }  // namespace rmrls

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <random>
 
+#include "obs/phase_profile.hpp"
+#include "obs/trace.hpp"
 #include "rev/pprm_transform.hpp"
 #include "rev/quantum_cost.hpp"
 
@@ -16,11 +18,24 @@ void accumulate(SynthesisStats& into, const SynthesisStats& from) {
   into.children_pushed += from.children_pushed;
   into.pruned_elim += from.pruned_elim;
   into.pruned_depth += from.pruned_depth;
+  into.pruned_max_gates += from.pruned_max_gates;
   into.pruned_duplicate += from.pruned_duplicate;
+  into.pruned_greedy += from.pruned_greedy;
+  into.pruned_stale += from.pruned_stale;
   into.dropped_queue_full += from.dropped_queue_full;
   into.restarts += from.restarts;
   into.solutions_found += from.solutions_found;
   into.elapsed += from.elapsed;
+}
+
+/// Tells the trace sink (if any) that the driver starts an
+/// iterative-refinement rerun hunting for circuits below `gates`.
+void emit_refinement_round(const SynthesisOptions& options, int gates) {
+  if (options.trace_sink == nullptr) return;
+  TraceEvent e;
+  e.kind = TraceEventKind::kRefinementRound;
+  e.gates = gates;
+  options.trace_sink->on_event(e);
 }
 
 }  // namespace
@@ -58,13 +73,19 @@ SynthesisResult synthesize(const Pprm& spec, const SynthesisOptions& options) {
   while (result.circuit.gate_count() > 1) {
     SynthesisOptions tighter = scope;
     if (options.max_nodes > 0) {
-      if (result.stats.nodes_expanded >= options.max_nodes) break;
+      if (result.stats.nodes_expanded >= options.max_nodes) {
+        result.termination = TerminationReason::kNodeBudget;
+        break;
+      }
       tighter.max_nodes = options.max_nodes - result.stats.nodes_expanded;
     }
     tighter.max_gates = result.circuit.gate_count() - 1;
     tighter.iterative_refinement = false;
+    emit_refinement_round(options, result.circuit.gate_count());
     SynthesisResult next = Search(spec, tighter).run();
     accumulate(result.stats, next.stats);
+    // The last pass executed is why the overall synthesis stopped looking.
+    result.termination = next.termination;
     if (!next.success) break;
     result.circuit = std::move(next.circuit);
   }
@@ -73,7 +94,13 @@ SynthesisResult synthesize(const Pprm& spec, const SynthesisOptions& options) {
 
 SynthesisResult synthesize(const TruthTable& spec,
                            const SynthesisOptions& options) {
-  return synthesize(pprm_of_truth_table(spec), options);
+  Pprm start;
+  {
+    const ScopedPhaseTimer timer(options.phase_profile,
+                                 Phase::kPprmTransform);
+    start = pprm_of_truth_table(spec);
+  }
+  return synthesize(start, options);
 }
 
 SynthesisResult synthesize_bidirectional(const TruthTable& spec,
@@ -91,6 +118,7 @@ SynthesisResult synthesize_bidirectional(const TruthTable& spec,
   }
   SynthesisResult backward = synthesize(spec.inverse(), rest);
   accumulate(forward.stats, backward.stats);
+  forward.termination = backward.termination;  // the last pass executed
   if (!backward.success) return forward;
   Circuit mirrored = backward.circuit.inverse();
   const bool backward_wins =

@@ -1,0 +1,253 @@
+#include "obs/json.hpp"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace rmrls {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::array<char, 8> buf{};
+          std::snprintf(buf.data(), buf.size(), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf.data();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::array<char, 32> buf{};
+  const auto [ptr, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  if (ec != std::errc{}) return "null";
+  return std::string(buf.data(), ptr);
+}
+
+JsonObject& JsonObject::emit(std::string_view key, std::string rendered) {
+  if (!first_) body_ += ',';
+  first_ = false;
+  body_ += '"';
+  body_ += json_escape(key);
+  body_ += "\":";
+  body_ += rendered;
+  return *this;
+}
+
+JsonObject& JsonObject::field(std::string_view key, std::string_view value) {
+  return emit(key, '"' + json_escape(value) + '"');
+}
+JsonObject& JsonObject::field(std::string_view key, const char* value) {
+  return field(key, std::string_view(value));
+}
+JsonObject& JsonObject::field(std::string_view key, std::int64_t value) {
+  return emit(key, std::to_string(value));
+}
+JsonObject& JsonObject::field(std::string_view key, std::uint64_t value) {
+  return emit(key, std::to_string(value));
+}
+JsonObject& JsonObject::field(std::string_view key, int value) {
+  return emit(key, std::to_string(value));
+}
+JsonObject& JsonObject::field(std::string_view key, double value) {
+  return emit(key, json_number(value));
+}
+JsonObject& JsonObject::field(std::string_view key, bool value) {
+  return emit(key, value ? "true" : "false");
+}
+JsonObject& JsonObject::raw(std::string_view key, std::string_view raw_json) {
+  return emit(key, std::string(raw_json));
+}
+
+std::string JsonObject::str() const { return '{' + body_ + '}'; }
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Strict recursive-descent parser over a string_view cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse() {
+    skip_ws();
+    JsonValue v;
+    if (!value(v)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool value(JsonValue& out) {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"': out.type = JsonValue::Type::kString; return string(out.string);
+      case 't':
+        out.type = JsonValue::Type::kBool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.type = JsonValue::Type::kBool;
+        out.boolean = false;
+        return literal("false");
+      case 'n': out.type = JsonValue::Type::kNull; return literal("null");
+      default: return number(out);
+    }
+  }
+
+  bool object(JsonValue& out) {
+    out.type = JsonValue::Type::kObject;
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string(key)) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      skip_ws();
+      JsonValue v;
+      if (!value(v)) return false;
+      out.object.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool array(JsonValue& out) {
+    out.type = JsonValue::Type::kArray;
+    if (!eat('[')) return false;
+    skip_ws();
+    if (eat(']')) return true;
+    while (true) {
+      skip_ws();
+      JsonValue v;
+      if (!value(v)) return false;
+      out.array.push_back(std::move(v));
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool string(std::string& out) {
+    if (!eat('"')) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          // ASCII-only decode; wider code points are kept as '?' (the
+          // writers never emit them).
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool number(JsonValue& out) {
+    out.type = JsonValue::Type::kNumber;
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    const auto [ptr, ec] =
+        std::from_chars(tok.data(), tok.data() + tok.size(), out.number);
+    return ec == std::errc{} && ptr == tok.data() + tok.size();
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> json_parse(std::string_view text) {
+  return Parser(text).parse();
+}
+
+}  // namespace rmrls

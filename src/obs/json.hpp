@@ -1,0 +1,78 @@
+/// \file json.hpp
+/// \brief Minimal JSON support for the observability subsystem.
+///
+/// Two halves, both dependency-free:
+///
+///   * JsonObject — an insertion-ordered single-line object builder used by
+///     the trace sinks and the metrics registry. Values are escaped per
+///     RFC 8259; doubles render with enough digits to round-trip.
+///   * json_parse — a strict recursive-descent reader for the subset the
+///     writers emit (objects, arrays, strings, numbers, booleans, null).
+///     It exists so tests and the metrics_check tool can validate that
+///     every emitted line actually parses and carries the expected keys.
+///
+/// This is deliberately not a general JSON library: no comments, no
+/// trailing commas, no \u surrogate pairs on output (input accepts them as
+/// plain escapes), documents up to one record per line (JSONL).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rmrls {
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Renders a double without locale dependence and with round-trip
+/// precision; non-finite values render as null (JSON has no inf/nan).
+[[nodiscard]] std::string json_number(double v);
+
+/// Single-line JSON object builder preserving insertion order.
+class JsonObject {
+ public:
+  JsonObject& field(std::string_view key, std::string_view value);
+  JsonObject& field(std::string_view key, const char* value);
+  JsonObject& field(std::string_view key, std::int64_t value);
+  JsonObject& field(std::string_view key, std::uint64_t value);
+  JsonObject& field(std::string_view key, int value);
+  JsonObject& field(std::string_view key, double value);
+  JsonObject& field(std::string_view key, bool value);
+  /// Inserts `raw` verbatim — for nested objects/arrays already rendered.
+  JsonObject& raw(std::string_view key, std::string_view raw_json);
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  JsonObject& emit(std::string_view key, std::string rendered);
+  std::string body_;
+  bool first_ = true;
+};
+
+/// Parsed JSON value (tree form). Object keys keep document order.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+
+  /// Looks up a key in an object value; nullptr if absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  [[nodiscard]] bool is_number() const { return type == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type == Type::kString; }
+  [[nodiscard]] bool is_object() const { return type == Type::kObject; }
+};
+
+/// Parses one JSON document; std::nullopt on any syntax error or if
+/// trailing non-whitespace follows the document.
+[[nodiscard]] std::optional<JsonValue> json_parse(std::string_view text);
+
+}  // namespace rmrls

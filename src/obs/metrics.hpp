@@ -1,0 +1,76 @@
+/// \file metrics.hpp
+/// \brief Metrics registry and stable JSONL export of synthesis runs.
+///
+/// One MetricsRegistry holds the key/value facts of one synthesized
+/// function: identification (name, vars), search counters
+/// (SynthesisStats + TerminationReason), per-phase timings (PhaseProfile)
+/// and circuit quality (gates, quantum cost, depth, NCT fit). to_json()
+/// renders a single-line JSON object with the stable `rmrls-metrics-v1`
+/// schema documented in docs/observability.md; MetricsWriter appends such
+/// lines to a JSONL file (one record per synthesized function), which is
+/// what `rmrls --metrics-out` and the bench harnesses' `--json` emit and
+/// what tools/metrics_check validates in CI.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/options.hpp"
+#include "obs/phase_profile.hpp"
+#include "rev/circuit.hpp"
+
+namespace rmrls {
+
+/// Schema tag stamped into every record; bump when keys change meaning.
+inline constexpr const char* kMetricsSchema = "rmrls-metrics-v1";
+
+/// Keys every record must carry; tools/metrics_check enforces this set.
+[[nodiscard]] const std::vector<std::string>& metrics_required_keys();
+
+/// Insertion-ordered key/value collection rendering to one JSON line.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();  ///< stamps the schema tag
+
+  MetricsRegistry& set(std::string_view key, std::string_view value);
+  /// Without this overload a string literal would resolve to bool.
+  MetricsRegistry& set(std::string_view key, const char* value) {
+    return set(key, std::string_view(value));
+  }
+  MetricsRegistry& set(std::string_view key, std::int64_t value);
+  MetricsRegistry& set(std::string_view key, std::uint64_t value);
+  MetricsRegistry& set(std::string_view key, int value);
+  MetricsRegistry& set(std::string_view key, double value);
+  MetricsRegistry& set(std::string_view key, bool value);
+
+  /// Search counters + termination under their canonical keys.
+  MetricsRegistry& add_stats(const SynthesisStats& stats,
+                             TerminationReason termination);
+
+  /// Per-phase wall time (nanoseconds) and call counts as a nested object
+  /// under "phases": {"factor_enum": {"calls": N, "ns": N}, ...}.
+  MetricsRegistry& add_profile(const PhaseProfile& profile);
+
+  /// Circuit quality: gates, quantum cost, depth, lines, NCT fit. For a
+  /// failed synthesis pass success=false and no circuit (fields go -1).
+  MetricsRegistry& add_circuit(const Circuit& circuit);
+
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;  // key, rendered
+};
+
+/// Appends one record per line to a stream (JSONL).
+class MetricsWriter {
+ public:
+  explicit MetricsWriter(std::ostream& out) : out_(out) {}
+  void write(const MetricsRegistry& record);
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace rmrls

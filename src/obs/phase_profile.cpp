@@ -1,0 +1,37 @@
+#include "obs/phase_profile.hpp"
+
+#include <sstream>
+
+#include "io/table.hpp"
+
+namespace rmrls {
+
+const char* to_string(Phase phase) {
+  switch (phase) {
+    case Phase::kPprmTransform: return "pprm_transform";
+    case Phase::kFactorEnum: return "factor_enum";
+    case Phase::kSubstitute: return "substitute";
+    case Phase::kHeapOps: return "heap_ops";
+    case Phase::kTemplateSimplify: return "template_simplify";
+    case Phase::kCount: break;
+  }
+  return "unknown";
+}
+
+std::string PhaseProfile::to_string() const {
+  const double total = static_cast<double>(total_nanos());
+  TextTable table({"phase", "calls", "ms", "share"});
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const Entry& e = entries[i];
+    if (e.calls == 0) continue;
+    const double ms = static_cast<double>(e.nanos) / 1e6;
+    const double share =
+        total > 0 ? 100.0 * static_cast<double>(e.nanos) / total : 0.0;
+    table.add_row({rmrls::to_string(static_cast<Phase>(i)),
+                   std::to_string(e.calls), fixed(ms, 3),
+                   fixed(share, 1) + "%"});
+  }
+  return table.to_string();
+}
+
+}  // namespace rmrls

@@ -1,0 +1,104 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace rmrls {
+
+const char* to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kRunBegin: return "run_begin";
+    case TraceEventKind::kNodeExpanded: return "node_expanded";
+    case TraceEventKind::kChildPruned: return "child_pruned";
+    case TraceEventKind::kSolutionFound: return "solution_found";
+    case TraceEventKind::kRestart: return "restart";
+    case TraceEventKind::kQueueDrop: return "queue_drop";
+    case TraceEventKind::kRefinementRound: return "refinement_round";
+    case TraceEventKind::kRunEnd: return "run_end";
+  }
+  return "unknown";
+}
+
+const char* to_string(PruneReason reason) {
+  switch (reason) {
+    case PruneReason::kNone: return "none";
+    case PruneReason::kElim: return "elim";
+    case PruneReason::kDepth: return "depth";
+    case PruneReason::kMaxGates: return "max_gates";
+    case PruneReason::kDuplicate: return "duplicate";
+    case PruneReason::kStale: return "stale";
+  }
+  return "unknown";
+}
+
+std::string JsonlTraceSink::to_json(const TraceEvent& e) {
+  JsonObject o;
+  o.field("ev", to_string(e.kind));
+  if (e.kind == TraceEventKind::kChildPruned) {
+    o.field("reason", to_string(e.prune_reason));
+  }
+  o.field("nodes", e.nodes_expanded)
+      .field("queue", e.queue_size)
+      .field("depth", e.depth)
+      .field("terms", e.terms);
+  if (e.gates >= 0) o.field("gates", e.gates);
+  if (e.kind == TraceEventKind::kNodeExpanded) {
+    o.field("priority", e.priority);
+  }
+  o.field("t_us", e.t_us);
+  return o.str();
+}
+
+void JsonlTraceSink::on_event(const TraceEvent& event) {
+  out_ << to_json(event) << '\n';
+}
+
+void ProgressTraceSink::on_event(const TraceEvent& event) {
+  switch (event.kind) {
+    case TraceEventKind::kNodeExpanded:
+      if (event.nodes_expanded < last_heartbeat_ + interval_) return;
+      last_heartbeat_ = event.nodes_expanded;
+      out_ << "[rmrls] " << event.nodes_expanded << " nodes, queue "
+           << event.queue_size << ", depth " << event.depth << ", terms "
+           << event.terms << ", " << event.t_us / 1000 << " ms\n";
+      break;
+    case TraceEventKind::kSolutionFound:
+      out_ << "[rmrls] solution: " << event.gates << " gates after "
+           << event.nodes_expanded << " nodes (" << event.t_us / 1000
+           << " ms)\n";
+      break;
+    case TraceEventKind::kRestart:
+      out_ << "[rmrls] restart after " << event.nodes_expanded << " nodes\n";
+      break;
+    case TraceEventKind::kRefinementRound:
+      out_ << "[rmrls] refining: searching for < " << event.gates
+           << " gates\n";
+      break;
+    case TraceEventKind::kRunEnd:
+      out_ << "[rmrls] run end: " << event.nodes_expanded << " nodes, best "
+           << (event.gates >= 0 ? std::to_string(event.gates)
+                                : std::string("none"))
+           << "\n";
+      break;
+    default:
+      break;  // child prunes / queue drops are too chatty for progress mode
+  }
+}
+
+std::uint64_t RecordingTraceSink::count(TraceEventKind kind) const {
+  return static_cast<std::uint64_t>(
+      std::count_if(events.begin(), events.end(),
+                    [&](const TraceEvent& e) { return e.kind == kind; }));
+}
+
+std::uint64_t RecordingTraceSink::count(PruneReason reason) const {
+  return static_cast<std::uint64_t>(std::count_if(
+      events.begin(), events.end(), [&](const TraceEvent& e) {
+        return e.kind == TraceEventKind::kChildPruned &&
+               e.prune_reason == reason;
+      }));
+}
+
+}  // namespace rmrls

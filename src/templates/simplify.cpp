@@ -22,7 +22,8 @@ bool cancel_forward(std::vector<Gate>& gates, std::size_t i) {
 
 }  // namespace
 
-SimplifyResult simplify_templates(const Circuit& c) {
+SimplifyResult simplify_templates(const Circuit& c, PhaseProfile* profile) {
+  const ScopedPhaseTimer timer(profile, Phase::kTemplateSimplify);
   std::vector<Gate> gates = c.gates();
   SimplifyResult result;
   bool changed = true;

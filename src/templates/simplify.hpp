@@ -17,6 +17,7 @@
 
 #pragma once
 
+#include "obs/phase_profile.hpp"
 #include "rev/circuit.hpp"
 
 namespace rmrls {
@@ -28,6 +29,9 @@ struct SimplifyResult {
 };
 
 /// Applies duplicate deletion under the moving rule until a fixpoint.
-[[nodiscard]] SimplifyResult simplify_templates(const Circuit& c);
+/// A non-null `profile` records the pass's wall time and invocation count
+/// under Phase::kTemplateSimplify.
+[[nodiscard]] SimplifyResult simplify_templates(
+    const Circuit& c, PhaseProfile* profile = nullptr);
 
 }  // namespace rmrls

@@ -1,0 +1,107 @@
+/// \file metrics_check.cpp
+/// \brief Validates rmrls-metrics-v1 JSONL files (CI guard).
+///
+/// Usage: metrics_check FILE [FILE...]
+///
+/// For every line of every file: it must parse as a JSON object, carry the
+/// schema tag, every required key (metrics_required_keys()), a known
+/// termination reason, and self-consistent counters (a successful record
+/// has gates >= 0; a failed one gates == -1). Exit 0 if every record of
+/// every file passes and at least one record was seen; 1 otherwise. This
+/// runs in CTest against the table harnesses' --json output so the metrics
+/// schema cannot silently rot.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/options.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using rmrls::JsonValue;
+
+bool check_record(const std::string& line, const std::string& where) {
+  const auto parsed = rmrls::json_parse(line);
+  if (!parsed || !parsed->is_object()) {
+    std::cerr << where << ": line is not a JSON object: " << line << "\n";
+    return false;
+  }
+  const JsonValue* schema = parsed->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string != rmrls::kMetricsSchema) {
+    std::cerr << where << ": missing/wrong schema tag (want "
+              << rmrls::kMetricsSchema << ")\n";
+    return false;
+  }
+  for (const std::string& key : rmrls::metrics_required_keys()) {
+    if (parsed->find(key) == nullptr) {
+      std::cerr << where << ": missing required key '" << key << "'\n";
+      return false;
+    }
+  }
+  const JsonValue* termination = parsed->find("termination");
+  const std::string& t = termination->string;
+  if (!termination->is_string() ||
+      (t != "solved" && t != "node_budget" && t != "time_limit" &&
+       t != "queue_exhausted")) {
+    std::cerr << where << ": unknown termination reason '" << t << "'\n";
+    return false;
+  }
+  const JsonValue* success = parsed->find("success");
+  const JsonValue* gates = parsed->find("gates");
+  const JsonValue* cost = parsed->find("quantum_cost");
+  if (success->type != JsonValue::Type::kBool || !gates->is_number() ||
+      !cost->is_number()) {
+    std::cerr << where << ": success/gates/quantum_cost have wrong types\n";
+    return false;
+  }
+  if (success->boolean ? gates->number < 0 : gates->number != -1) {
+    std::cerr << where << ": gates (" << gates->number
+              << ") inconsistent with success flag\n";
+    return false;
+  }
+  const JsonValue* nodes = parsed->find("nodes_expanded");
+  if (!nodes->is_number() || nodes->number < 0) {
+    std::cerr << where << ": nodes_expanded is not a non-negative number\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: metrics_check FILE [FILE...]\n";
+    return 2;
+  }
+  std::uint64_t records = 0;
+  bool ok = true;
+  for (int f = 1; f < argc; ++f) {
+    std::ifstream in(argv[f]);
+    if (!in) {
+      std::cerr << "cannot open " << argv[f] << "\n";
+      return 1;
+    }
+    std::string line;
+    std::uint64_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty()) continue;
+      ++records;
+      ok &= check_record(line,
+                         std::string(argv[f]) + ":" + std::to_string(lineno));
+    }
+  }
+  if (records == 0) {
+    std::cerr << "no metrics records found\n";
+    return 1;
+  }
+  if (ok) {
+    std::cout << records << " metrics record(s) valid\n";
+  }
+  return ok ? 0 : 1;
+}

@@ -1,30 +1,12 @@
 /// \file rmrls_main.cpp
 /// \brief Command-line front end of the RMRLS synthesizer.
 ///
-/// Usage:
-///   rmrls --perm "{1, 0, 7, 2, 3, 4, 5, 6}" [options]
-///   rmrls --spec FILE        (permutation spec file)
-///   rmrls --benchmark NAME   (named function from the paper's suite)
-///   rmrls --list             (list benchmark names)
-///
-/// Options:
-///   --alpha X --beta X --gamma X   priority weights (default 0.3 0.6 0.1)
-///   --greedy K                     keep best K substitutions per variable
-///   --max-gates N                  circuit size cap
-///   --max-nodes N                  search-node budget (default 200000)
-///   --time-ms N                    wall-clock limit
-///   --first                        stop at the first valid circuit
-///   --no-extra                     basic substitutions only (Section IV-A)
-///   --templates                    post-process with template pass
-///   --tfc                          print the circuit in .tfc format
-///   --fredkin                      extract Fredkin gates (mixed output)
-///   --bidir                        also try the inverse direction
-///   --resynth FILE.tfc             resynthesize an existing cascade
-///   --scope c|additional|any       non-reducing substitution scope
-///   --cbudget N --restart N --tt/--no-tt --cumul   search knobs
+/// Run `rmrls --help` for the full option list (the help() function below
+/// is the authoritative reference).
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -33,6 +15,9 @@
 #include "core/synthesizer.hpp"
 #include "io/spec.hpp"
 #include "io/tfc.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase_profile.hpp"
+#include "obs/trace.hpp"
 #include "rev/pprm_transform.hpp"
 #include "rev/quantum_cost.hpp"
 #include "templates/fredkinize.hpp"
@@ -40,13 +25,103 @@
 
 namespace {
 
+void help(const char* argv0, std::ostream& os) {
+  os << "usage: " << argv0
+     << " (--perm SPEC | --spec FILE | --benchmark NAME | --resynth FILE"
+        " | --list) [options]\n"
+        "\n"
+        "Input (exactly one):\n"
+        "  --perm SPEC        inline permutation, e.g. \"{1, 0, 7, 2, 3, 4,"
+        " 5, 6}\"\n"
+        "  --spec FILE        permutation spec file (same syntax)\n"
+        "  --benchmark NAME   named function from the paper's suite\n"
+        "  --resynth FILE     resynthesize an existing .tfc cascade\n"
+        "  --list             list benchmark names and exit\n"
+        "\n"
+        "Search options:\n"
+        "  --alpha X --beta X --gamma X\n"
+        "                     eq. (4) priority weights (default 0.3 0.6"
+        " 0.1)\n"
+        "  --greedy K         keep best K substitutions per variable (0 ="
+        " all)\n"
+        "  --max-gates N      circuit size cap (0 = unlimited)\n"
+        "  --max-nodes N      search-node budget (default 200000)\n"
+        "  --time-ms N        wall-clock limit in milliseconds\n"
+        "  --first            stop at the first valid circuit\n"
+        "  --no-extra         basic substitutions only (Section IV-A)\n"
+        "  --scope c|additional|any\n"
+        "                     non-reducing substitution scope\n"
+        "  --cbudget N        non-reducing substitutions per path (-1 ="
+        " auto)\n"
+        "  --restart N        restart interval in expansions (0 = off)\n"
+        "  --tt / --no-tt     transposition table on/off\n"
+        "  --cumul / --stage-elim\n"
+        "                     cumulative vs per-stage elimination priority\n"
+        "\n"
+        "Post-processing and output:\n"
+        "  --templates        post-process with the template pass\n"
+        "  --fredkin          extract Fredkin gates (mixed output)\n"
+        "  --bidir            also try the inverse direction\n"
+        "  --tfc              print the circuit in .tfc format\n"
+        "\n"
+        "Observability:\n"
+        "  --trace FILE       write typed search events as JSONL\n"
+        "  --trace-interval N sample node-expansion/prune events every Nth\n"
+        "                     expansion (default 1 = every event)\n"
+        "  --metrics-out FILE write one JSON metrics record (counters,\n"
+        "                     per-phase timings, termination reason,"
+        " circuit\n"
+        "                     stats); schema rmrls-metrics-v1, see\n"
+        "                     docs/observability.md\n"
+        "  --progress         human-readable search progress on stderr\n"
+        "\n"
+        "  --help, -h         this text\n";
+}
+
 int usage(const char* argv0) {
-  std::cerr << "usage: " << argv0
-            << " (--perm SPEC | --spec FILE | --benchmark NAME | --list)"
-               " [options]\n"
-               "run with no arguments for the full option list in the file"
-               " header comment\n";
+  help(argv0, std::cerr);
   return 2;
+}
+
+// Numeric option values parse with a diagnostic and exit(2) instead of an
+// uncaught std::invalid_argument abort (same contract as the bench
+// harnesses' --help/--samples parsing in bench/bench_common.hpp).
+[[noreturn]] void bad_number(const std::string& arg, const std::string& v) {
+  std::cerr << "invalid number for " << arg << ": '" << v << "'\n";
+  std::exit(2);
+}
+
+long long num_ll(const std::string& arg, const std::string& v) {
+  try {
+    std::size_t used = 0;
+    const long long n = std::stoll(v, &used);
+    if (used != v.size()) bad_number(arg, v);
+    return n;
+  } catch (const std::exception&) {
+    bad_number(arg, v);
+  }
+}
+
+unsigned long long num_ull(const std::string& arg, const std::string& v) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long n = std::stoull(v, &used);
+    if (used != v.size()) bad_number(arg, v);
+    return n;
+  } catch (const std::exception&) {
+    bad_number(arg, v);
+  }
+}
+
+double num_d(const std::string& arg, const std::string& v) {
+  try {
+    std::size_t used = 0;
+    const double n = std::stod(v, &used);
+    if (used != v.size()) bad_number(arg, v);
+    return n;
+  } catch (const std::exception&) {
+    bad_number(arg, v);
+  }
 }
 
 }  // namespace
@@ -62,6 +137,9 @@ int main(int argc, char** argv) {
   bool bidirectional = false;
   bool emit_tfc = false;
   std::string tfc_file;
+  std::string trace_file;
+  std::string metrics_file;
+  bool progress = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -84,19 +162,19 @@ int main(int argc, char** argv) {
       }
       return 0;
     } else if (arg == "--alpha") {
-      options.alpha = std::stod(next());
+      options.alpha = num_d(arg, next());
     } else if (arg == "--beta") {
-      options.beta = std::stod(next());
+      options.beta = num_d(arg, next());
     } else if (arg == "--gamma") {
-      options.gamma = std::stod(next());
+      options.gamma = num_d(arg, next());
     } else if (arg == "--greedy") {
-      options.greedy_k = std::stoi(next());
+      options.greedy_k = static_cast<int>(num_ll(arg, next()));
     } else if (arg == "--max-gates") {
-      options.max_gates = std::stoi(next());
+      options.max_gates = static_cast<int>(num_ll(arg, next()));
     } else if (arg == "--max-nodes") {
-      options.max_nodes = std::stoull(next());
+      options.max_nodes = num_ull(arg, next());
     } else if (arg == "--time-ms") {
-      options.time_limit = std::chrono::milliseconds(std::stoll(next()));
+      options.time_limit = std::chrono::milliseconds(num_ll(arg, next()));
     } else if (arg == "--stage-elim") {
       options.cumulative_elim_priority = false;
     } else if (arg == "--cumul") {
@@ -106,7 +184,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--no-tt") {
       options.use_transposition_table = false;
     } else if (arg == "--cbudget") {
-      options.exempt_budget = std::stoi(next());
+      options.exempt_budget = static_cast<int>(num_ll(arg, next()));
     } else if (arg == "--scope") {
       const std::string s = next();
       options.exempt_scope =
@@ -114,7 +192,7 @@ int main(int argc, char** argv) {
           : s == "additional" ? SynthesisOptions::ExemptScope::kAdditional
                               : SynthesisOptions::ExemptScope::kComplement;
     } else if (arg == "--restart") {
-      options.restart_interval = std::stoull(next());
+      options.restart_interval = num_ull(arg, next());
     } else if (arg == "--first") {
       options.stop_at_first_solution = true;
     } else if (arg == "--no-extra") {
@@ -130,6 +208,17 @@ int main(int argc, char** argv) {
       tfc_file = next();
     } else if (arg == "--tfc") {
       emit_tfc = true;
+    } else if (arg == "--trace") {
+      trace_file = next();
+    } else if (arg == "--trace-interval") {
+      options.trace_sample_interval = num_ull(arg, next());
+    } else if (arg == "--metrics-out") {
+      metrics_file = next();
+    } else if (arg == "--progress") {
+      progress = true;
+    } else if (arg == "--help" || arg == "-h") {
+      help(argv[0], std::cout);
+      return 0;
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       return usage(argv[0]);
@@ -137,7 +226,31 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // Observability: assemble the requested sinks (both --trace and
+    // --progress may be active at once) and the phase profile.
+    std::ofstream trace_out;
+    std::unique_ptr<JsonlTraceSink> jsonl_sink;
+    std::unique_ptr<ProgressTraceSink> progress_sink;
+    MultiTraceSink multi_sink;
+    if (!trace_file.empty()) {
+      trace_out.open(trace_file);
+      if (!trace_out) {
+        std::cerr << "cannot open " << trace_file << " for writing\n";
+        return 1;
+      }
+      jsonl_sink = std::make_unique<JsonlTraceSink>(trace_out);
+      multi_sink.add(jsonl_sink.get());
+    }
+    if (progress) {
+      progress_sink = std::make_unique<ProgressTraceSink>(std::cerr);
+      multi_sink.add(progress_sink.get());
+    }
+    if (jsonl_sink || progress_sink) options.trace_sink = &multi_sink;
+    PhaseProfile profile;
+    if (!metrics_file.empty()) options.phase_profile = &profile;
+
     Pprm spec;
+    std::string input_name;
     std::optional<TruthTable> table_spec;
     if (!tfc_file.empty()) {
       // Resynthesis mode: read a cascade and search for a better one
@@ -153,9 +266,11 @@ int main(int argc, char** argv) {
       std::cerr << "resynthesizing " << original.gate_count()
                 << "-gate cascade on " << original.num_lines() << " lines\n";
       spec = original.to_pprm();
+      input_name = tfc_file;
     } else if (!perm_text.empty()) {
       table_spec = parse_permutation_spec(perm_text);
       spec = pprm_of_truth_table(*table_spec);
+      input_name = "perm";
     } else if (!spec_file.empty()) {
       std::ifstream in(spec_file);
       if (!in) {
@@ -165,8 +280,10 @@ int main(int argc, char** argv) {
       std::ostringstream buf;
       buf << in.rdbuf();
       spec = pprm_of_truth_table(parse_permutation_spec(buf.str()));
+      input_name = spec_file;
     } else if (!benchmark.empty()) {
       spec = suite::get_benchmark(benchmark).pprm;
+      input_name = benchmark;
     } else {
       return usage(argv[0]);
     }
@@ -179,26 +296,55 @@ int main(int argc, char** argv) {
       std::cerr << "note: --bidir needs an explicit permutation spec;"
                    " running forward only\n";
     }
+    // One JSONL record per run: counters + termination + phase timings +
+    // circuit stats (gates/cost -1 when the synthesis failed).
+    const auto write_metrics = [&](const Circuit* circuit) {
+      if (metrics_file.empty()) return true;
+      std::ofstream out(metrics_file);
+      if (!out) {
+        std::cerr << "cannot open " << metrics_file << " for writing\n";
+        return false;
+      }
+      MetricsRegistry record;
+      record.set("name", input_name).set("vars", spec.num_vars());
+      record.set("success", result.success);
+      record.add_stats(result.stats, result.termination);
+      record.add_profile(profile);
+      if (circuit != nullptr) {
+        record.add_circuit(*circuit);
+      } else {
+        record.set("gates", -1).set("quantum_cost", -1);
+      }
+      MetricsWriter(out).write(record);
+      return true;
+    };
+
     if (!result.success) {
       std::cerr << "synthesis failed within budget ("
-                << result.stats.nodes_expanded << " nodes expanded)\n";
+                << result.stats.nodes_expanded << " nodes expanded,"
+                   " termination: "
+                << to_string(result.termination) << ")\n";
+      write_metrics(nullptr);
       return 1;
     }
     Circuit circuit = result.circuit;
     if (run_templates) {
-      circuit = simplify_templates(circuit).circuit;
+      circuit = simplify_templates(circuit, options.phase_profile).circuit;
     }
     if (!implements(circuit, spec)) {
       std::cerr << "internal error: circuit fails verification\n";
       return 1;
     }
+    if (!write_metrics(&circuit)) return 1;
     if (run_fredkinize) {
       const FredkinizeResult fr = fredkinize(circuit);
       std::cout << fr.circuit.to_string() << "\n";
       std::cout << "gates: " << fr.circuit.gate_count() << " ("
                 << fr.fredkin_gates << " Fredkin)"
                 << "  quantum cost: " << quantum_cost(fr.circuit)
-                << "  nodes: " << result.stats.nodes_expanded << "\n";
+                << "  nodes: " << result.stats.nodes_expanded
+                << "  termination: " << to_string(result.termination)
+                << "\n";
       return 0;
     }
     // Stats go to stderr in .tfc mode so stdout stays a valid .tfc file.
@@ -211,7 +357,11 @@ int main(int argc, char** argv) {
     stats_out << "gates: " << circuit.gate_count()
               << "  quantum cost: " << quantum_cost(circuit)
               << "  nodes: " << result.stats.nodes_expanded
-              << "  time: " << result.stats.elapsed.count() << " us\n";
+              << "  time: " << result.stats.elapsed.count() << " us"
+              << "  termination: " << to_string(result.termination) << "\n";
+    if (!metrics_file.empty()) {
+      stats_out << "\nphase profile:\n" << profile.to_string();
+    }
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
