@@ -31,6 +31,7 @@ struct BenchArgs {
   bool full = false;
   std::uint64_t seed = 20040216;
   std::string json_out;  // empty = no JSONL metrics
+  int threads = 1;       // search workers (docs/parallelism.md)
 
   static void print_help(std::ostream& os) {
     os << "options:\n"
@@ -40,6 +41,8 @@ struct BenchArgs {
           "  --seed N        RNG seed (default 20040216)\n"
           "  --json FILE     write one JSONL metrics record per"
           " synthesized function\n"
+          "  --threads N     parallel search workers (1 = sequential,\n"
+          "                  0 = one per hardware thread)\n"
           "  --help          this text\n";
   }
 
@@ -79,6 +82,8 @@ struct BenchArgs {
         a.seed = next_u64();
       } else if (arg == "--json") {
         a.json_out = next();
+      } else if (arg == "--threads") {
+        a.threads = static_cast<int>(next_u64());
       } else if (arg == "--help" || arg == "-h") {
         print_help(std::cout);
         std::exit(0);

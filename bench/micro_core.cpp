@@ -6,7 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <iostream>
 #include <random>
+#include <string>
+#include <vector>
 
 #include "baselines/transformation_based.hpp"
 #include "core/factor_enum.hpp"
@@ -55,6 +58,24 @@ void BM_Substitution(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Substitution)->Arg(3)->Arg(5)->Arg(8);
+
+// Counterpart of BM_Substitution on the engine's actual hot path: price
+// read-only, then materialize into a pooled destination whose buffers are
+// reused, so the steady state performs no allocation at all.
+void BM_SubstituteIntoPooled(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::mt19937_64 rng(3);
+  const Pprm base = pprm_of_truth_table(random_reversible_function(n, rng));
+  const Cube factor = cube_of_var(1) | cube_of_var(2);
+  PprmPool pool;
+  for (auto _ : state) {
+    Pprm dst = pool.acquire();
+    base.substitute_into(0, factor, dst);
+    benchmark::DoNotOptimize(dst);
+    pool.release(std::move(dst));
+  }
+}
+BENCHMARK(BM_SubstituteIntoPooled)->Arg(3)->Arg(5)->Arg(8);
 
 void BM_PprmHash(benchmark::State& state) {
   std::mt19937_64 rng(4);
@@ -157,6 +178,21 @@ void BM_Synthesize3VarNullSinkSampled(benchmark::State& state) {
 }
 BENCHMARK(BM_Synthesize3VarNullSinkSampled);
 
+// The parallel engine on the same spec as BM_SynthesizeFig1. On a single
+// hardware thread this measures coordination overhead, not speedup — the
+// speedup harness is bench/parallel_speedup.
+void BM_SynthesizeFig1Parallel(benchmark::State& state) {
+  const Pprm spec =
+      pprm_of_truth_table(TruthTable({1, 0, 7, 2, 3, 4, 5, 6}));
+  SynthesisOptions o;
+  o.max_nodes = 20000;
+  o.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synthesize(spec, o));
+  }
+}
+BENCHMARK(BM_SynthesizeFig1Parallel)->Arg(2)->Arg(4);
+
 void BM_TransformationBased(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   std::mt19937_64 rng(8);
@@ -169,4 +205,33 @@ BENCHMARK(BM_TransformationBased)->Arg(3)->Arg(6)->Arg(8);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): `--json FILE` is translated to
+// google-benchmark's --benchmark_out flags, so this harness shares the
+// --json spelling of every other binary in bench/. The committed baseline
+// bench/BENCH_seed.json is regenerated with `micro_core --json ...`.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for --json\n";
+        return 2;
+      }
+      args.push_back(std::string("--benchmark_out=") + argv[++i]);
+      args.push_back("--benchmark_out_format=json");
+    } else {
+      args.push_back(arg);
+    }
+  }
+  std::vector<char*> argp;
+  argp.reserve(args.size());
+  for (std::string& a : args) argp.push_back(a.data());
+  int count = static_cast<int>(argp.size());
+  benchmark::Initialize(&count, argp.data());
+  if (benchmark::ReportUnrecognizedArguments(count, argp.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,126 @@
+/// \file parallel_speedup.cpp
+/// \brief Scaling harness for the parallel search engine
+/// (docs/parallelism.md).
+///
+/// Re-runs the Table V workload (random 15-gate GT cascades on 6-10
+/// variables, first-solution mode, the paper's greedy option) once per
+/// thread count and reports wall time, speedup and efficiency against the
+/// sequential engine. The same specs are synthesized at every thread
+/// count, and every parallel result is verified against its spec, so the
+/// table doubles as a correctness check. Speedup requires hardware
+/// parallelism — on a single-core host every row degrades to coordination
+/// overhead (the run warns when it detects that).
+///
+/// Arguments (bench_common.hpp): --samples N cascades per variable count,
+/// --max-nodes N per-function budget, --seed N, --threads N for the
+/// maximum thread count swept (default 4; the sweep is 1, 2, ..., max).
+
+#include <chrono>
+#include <iostream>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/synthesizer.hpp"
+#include "io/table.hpp"
+#include "rev/random.hpp"
+
+namespace {
+
+using namespace rmrls;
+using Clock = std::chrono::steady_clock;
+
+struct SweepRow {
+  int threads = 1;
+  double millis = 0.0;
+  std::uint64_t solved = 0;
+  std::uint64_t gates_total = 0;
+  std::uint64_t nodes_total = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  const std::uint64_t samples = args.samples ? args.samples : 10;
+  const int max_threads = args.threads > 1 ? args.threads : 4;
+
+  SynthesisOptions base;
+  base.max_nodes = args.max_nodes ? args.max_nodes : 100000;
+  base.stop_at_first_solution = true;
+  base.greedy_k = 4;  // the paper's greedy option (Table V configuration)
+
+  // The Table V workload, fixed up front so every thread count synthesizes
+  // the identical spec set.
+  std::mt19937_64 rng(args.seed);
+  std::uniform_int_distribution<int> gate_count_dist(1, 15);
+  std::vector<Pprm> specs;
+  for (int vars = 6; vars <= 10; ++vars) {
+    for (std::uint64_t i = 0; i < samples; ++i) {
+      specs.push_back(
+          random_circuit(vars, gate_count_dist(rng), GateLibrary::kGT, rng)
+              .to_pprm());
+    }
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::cout << "=== Parallel search scaling (Table V workload) ===\n"
+            << specs.size() << " random GT cascades (6-10 vars, <= 15 gates), "
+            << "first-solution mode, " << base.max_nodes
+            << " nodes per function, " << (hw ? hw : 1)
+            << " hardware thread(s)\n\n";
+  if (hw <= 1) {
+    std::cout << "note: single hardware thread detected — expect overhead,"
+                 " not speedup\n\n";
+  }
+
+  std::vector<SweepRow> rows;
+  for (int threads = 1; threads <= max_threads; ++threads) {
+    SweepRow row;
+    row.threads = threads;
+    SynthesisOptions options = base;
+    options.num_threads = threads;
+    const auto t0 = Clock::now();
+    for (const Pprm& spec : specs) {
+      const SynthesisResult r = synthesize(spec, options);
+      if (!r.success) continue;
+      if (!implements(r.circuit, spec)) {
+        std::cerr << "FAIL: circuit from " << threads
+                  << "-thread run does not implement its spec\n";
+        return 1;
+      }
+      ++row.solved;
+      row.gates_total += static_cast<std::uint64_t>(r.circuit.gate_count());
+      row.nodes_total += r.stats.nodes_expanded;
+    }
+    row.millis = std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                     .count();
+    rows.push_back(row);
+  }
+
+  TextTable table(
+      {"Threads", "Wall ms", "Speedup", "Efficiency", "Solved", "Gates",
+       "Nodes"});
+  const double base_ms = rows.front().millis;
+  for (const SweepRow& row : rows) {
+    const double speedup = row.millis > 0.0 ? base_ms / row.millis : 0.0;
+    table.add_row({std::to_string(row.threads), fixed(row.millis, 1),
+                   fixed(speedup, 2),
+                   fixed(speedup / row.threads, 2),
+                   std::to_string(row.solved),
+                   std::to_string(row.gates_total),
+                   std::to_string(row.nodes_total)});
+  }
+  table.print(std::cout);
+  // Every thread count must solve the suite; gate totals may differ
+  // (parallel runs are valid but not bit-reproducible).
+  for (const SweepRow& row : rows) {
+    if (row.solved != rows.front().solved) {
+      std::cout << "\nnote: " << row.threads << "-thread run solved "
+                << row.solved << "/" << rows.front().solved
+                << " of the sequential run's set\n";
+    }
+  }
+  return 0;
+}

@@ -213,7 +213,9 @@ bench-objs/CMakeFiles/ablation_heuristics.dir/ablation_heuristics.cpp.o: \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/cstddef \
  /root/repo/src/rev/gate.hpp /root/repo/src/rev/cube.hpp \
  /root/repo/src/rev/pprm.hpp /root/repo/src/obs/phase_profile.hpp \
- /root/repo/src/obs/trace.hpp /root/repo/src/rev/circuit.hpp \
+ /root/repo/src/obs/trace.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/std_mutex.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/rev/circuit.hpp \
  /root/repo/src/rev/truth_table.hpp /root/repo/src/obs/metrics.hpp \
  /root/repo/src/bench_suite/registry.hpp /usr/include/c++/12/optional \
  /root/repo/src/core/synthesizer.hpp /root/repo/src/io/table.hpp \

@@ -209,7 +209,9 @@ bench-objs/CMakeFiles/budget_curve.dir/budget_curve.cpp.o: \
  /usr/include/c++/12/cstddef /root/repo/src/rev/gate.hpp \
  /root/repo/src/rev/cube.hpp /root/repo/src/rev/pprm.hpp \
  /root/repo/src/obs/phase_profile.hpp /usr/include/c++/12/array \
- /root/repo/src/obs/trace.hpp /root/repo/src/rev/circuit.hpp \
+ /root/repo/src/obs/trace.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/std_mutex.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/rev/circuit.hpp \
  /root/repo/src/rev/truth_table.hpp /root/repo/src/obs/metrics.hpp \
  /root/repo/src/core/synthesizer.hpp /root/repo/src/io/table.hpp \
  /root/repo/src/rev/random.hpp

@@ -179,7 +179,9 @@ bench-objs/CMakeFiles/examples_suite.dir/examples_suite.cpp.o: \
  /root/repo/src/rev/gate.hpp /root/repo/src/rev/cube.hpp \
  /usr/include/c++/12/bit /root/repo/src/rev/pprm.hpp \
  /root/repo/src/obs/phase_profile.hpp /usr/include/c++/12/array \
- /root/repo/src/obs/trace.hpp /root/repo/src/rev/circuit.hpp \
+ /root/repo/src/obs/trace.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/std_mutex.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/rev/circuit.hpp \
  /root/repo/src/rev/truth_table.hpp /root/repo/src/obs/metrics.hpp \
  /root/repo/src/bench_suite/functions.hpp \
  /root/repo/src/bench_suite/registry.hpp \

@@ -218,7 +218,9 @@ bench-objs/CMakeFiles/table1_all3var.dir/table1_all3var.cpp.o: \
  /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
  /usr/include/c++/12/cstddef /root/repo/src/rev/pprm.hpp \
  /root/repo/src/obs/phase_profile.hpp /usr/include/c++/12/array \
- /root/repo/src/obs/trace.hpp /root/repo/src/obs/metrics.hpp \
+ /root/repo/src/obs/trace.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/std_mutex.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/obs/metrics.hpp \
  /root/repo/src/core/synthesizer.hpp /root/repo/src/io/table.hpp \
  /root/repo/src/rev/random.hpp /root/repo/src/templates/fredkinize.hpp \
  /root/repo/src/templates/simplify.hpp

@@ -5,10 +5,10 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 add_test(bench_json_emit "/root/repo/build/bench/table1_all3var" "--samples" "4" "--json" "/root/repo/build/bench-objs/table1_metrics.jsonl")
-set_tests_properties(bench_json_emit PROPERTIES  FIXTURES_SETUP "bench_json" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;32;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_json_emit PROPERTIES  FIXTURES_SETUP "bench_json" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench_json_schema "/root/repo/build/tools/metrics_check" "/root/repo/build/bench-objs/table1_metrics.jsonl")
-set_tests_properties(bench_json_schema PROPERTIES  FIXTURES_REQUIRED "bench_json" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;36;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_json_schema PROPERTIES  FIXTURES_REQUIRED "bench_json" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench_bad_number "/root/repo/build/bench/table1_all3var" "--samples" "abc")
-set_tests_properties(bench_bad_number PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;42;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_bad_number PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;43;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench_help "/root/repo/build/bench/table1_all3var" "--help")
-set_tests_properties(bench_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;45;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -177,6 +177,7 @@ examples/CMakeFiles/adder_embedding.dir/adder_embedding.cpp.o: \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/core/factor_enum.hpp \
  /root/repo/src/rev/gate.hpp /root/repo/src/obs/phase_profile.hpp \
  /usr/include/c++/12/array /root/repo/src/obs/trace.hpp \
- /root/repo/src/rev/circuit.hpp /root/repo/src/rev/embedding.hpp \
- /root/repo/src/rev/embedding_search.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/std_mutex.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/rev/circuit.hpp \
+ /root/repo/src/rev/embedding.hpp /root/repo/src/rev/embedding_search.hpp \
  /root/repo/src/rev/quantum_cost.hpp

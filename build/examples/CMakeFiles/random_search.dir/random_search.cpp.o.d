@@ -205,5 +205,7 @@ examples/CMakeFiles/random_search.dir/random_search.cpp.o: \
  /root/repo/src/rev/gate.hpp /root/repo/src/rev/cube.hpp \
  /root/repo/src/rev/pprm.hpp /root/repo/src/obs/phase_profile.hpp \
  /usr/include/c++/12/array /root/repo/src/obs/trace.hpp \
- /root/repo/src/rev/circuit.hpp /root/repo/src/rev/truth_table.hpp \
- /root/repo/src/rev/quantum_cost.hpp /root/repo/src/rev/random.hpp
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/std_mutex.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/rev/circuit.hpp \
+ /root/repo/src/rev/truth_table.hpp /root/repo/src/rev/quantum_cost.hpp \
+ /root/repo/src/rev/random.hpp

@@ -177,9 +177,11 @@ examples/CMakeFiles/toolchain_tour.dir/toolchain_tour.cpp.o: \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/core/factor_enum.hpp \
  /root/repo/src/rev/gate.hpp /root/repo/src/obs/phase_profile.hpp \
  /usr/include/c++/12/array /root/repo/src/obs/trace.hpp \
- /root/repo/src/rev/circuit.hpp /root/repo/src/io/real_format.hpp \
- /root/repo/src/rev/fredkin.hpp /root/repo/src/io/tfc.hpp \
- /root/repo/src/rev/circuit_stats.hpp /root/repo/src/rev/decompose.hpp \
- /root/repo/src/rev/equivalence.hpp /root/repo/src/rev/quantum_cost.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/std_mutex.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/rev/circuit.hpp \
+ /root/repo/src/io/real_format.hpp /root/repo/src/rev/fredkin.hpp \
+ /root/repo/src/io/tfc.hpp /root/repo/src/rev/circuit_stats.hpp \
+ /root/repo/src/rev/decompose.hpp /root/repo/src/rev/equivalence.hpp \
+ /root/repo/src/rev/quantum_cost.hpp \
  /root/repo/src/templates/fredkinize.hpp \
  /root/repo/src/templates/simplify.hpp

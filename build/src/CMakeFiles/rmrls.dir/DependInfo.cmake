@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/bench_suite/functions.cpp" "src/CMakeFiles/rmrls.dir/bench_suite/functions.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/bench_suite/functions.cpp.o.d"
   "/root/repo/src/bench_suite/registry.cpp" "src/CMakeFiles/rmrls.dir/bench_suite/registry.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/bench_suite/registry.cpp.o.d"
   "/root/repo/src/core/factor_enum.cpp" "src/CMakeFiles/rmrls.dir/core/factor_enum.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/core/factor_enum.cpp.o.d"
+  "/root/repo/src/core/parallel.cpp" "src/CMakeFiles/rmrls.dir/core/parallel.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/core/parallel.cpp.o.d"
   "/root/repo/src/core/search.cpp" "src/CMakeFiles/rmrls.dir/core/search.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/core/search.cpp.o.d"
   "/root/repo/src/core/synthesizer.cpp" "src/CMakeFiles/rmrls.dir/core/synthesizer.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/core/synthesizer.cpp.o.d"
   "/root/repo/src/esop/esop.cpp" "src/CMakeFiles/rmrls.dir/esop/esop.cpp.o" "gcc" "src/CMakeFiles/rmrls.dir/esop/esop.cpp.o.d"

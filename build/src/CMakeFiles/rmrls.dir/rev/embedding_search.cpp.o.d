@@ -161,7 +161,11 @@ src/CMakeFiles/rmrls.dir/rev/embedding_search.cpp.o: \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/cstddef \
- /root/repo/src/core/search.hpp /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/search.hpp \
+ /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h /usr/include/c++/12/tuple \
@@ -169,15 +173,13 @@ src/CMakeFiles/rmrls.dir/rev/embedding_search.cpp.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_uninitialized.h \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/factor_enum.hpp \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/core/factor_enum.hpp \
  /root/repo/src/rev/gate.hpp /root/repo/src/rev/cube.hpp \
  /usr/include/c++/12/bit /root/repo/src/rev/pprm.hpp \
  /root/repo/src/obs/phase_profile.hpp /usr/include/c++/12/array \
- /root/repo/src/obs/trace.hpp /root/repo/src/rev/circuit.hpp \
+ /root/repo/src/obs/trace.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/std_mutex.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/rev/circuit.hpp \
  /root/repo/src/rev/truth_table.hpp /root/repo/src/rev/embedding.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \

@@ -301,7 +301,8 @@ tests/CMakeFiles/test_integration.dir/test_integration.cpp.o: \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /root/repo/src/core/search.hpp \
  /root/repo/src/core/factor_enum.hpp /root/repo/src/obs/phase_profile.hpp \
- /root/repo/src/obs/trace.hpp /root/repo/src/esop/esop.hpp \
+ /root/repo/src/obs/trace.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/esop/esop.hpp \
  /root/repo/src/esop/minimize.hpp /root/repo/src/io/spec.hpp \
  /root/repo/src/io/tfc.hpp /root/repo/src/rev/embedding.hpp \
  /root/repo/src/rev/pprm_transform.hpp \

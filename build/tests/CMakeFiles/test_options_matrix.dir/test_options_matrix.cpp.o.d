@@ -326,5 +326,6 @@ tests/CMakeFiles/test_options_matrix.dir/test_options_matrix.cpp.o: \
  /root/repo/src/core/factor_enum.hpp /root/repo/src/rev/gate.hpp \
  /root/repo/src/rev/cube.hpp /root/repo/src/rev/pprm.hpp \
  /root/repo/src/obs/phase_profile.hpp /root/repo/src/obs/trace.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/rev/circuit.hpp /root/repo/src/rev/truth_table.hpp \
  /root/repo/src/rev/random.hpp

@@ -328,6 +328,7 @@ tests/CMakeFiles/test_properties.dir/test_properties.cpp.o: \
  /usr/include/c++/12/ratio /root/repo/src/core/search.hpp \
  /root/repo/src/core/factor_enum.hpp /root/repo/src/rev/pprm.hpp \
  /root/repo/src/obs/phase_profile.hpp /root/repo/src/obs/trace.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/rev/pprm_transform.hpp \
  /root/repo/src/rev/quantum_cost.hpp /root/repo/src/rev/random.hpp \
  /root/repo/src/templates/simplify.hpp

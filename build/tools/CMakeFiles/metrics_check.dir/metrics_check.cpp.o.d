@@ -162,14 +162,14 @@ tools/CMakeFiles/metrics_check.dir/metrics_check.cpp.o: \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/cstddef \
- /root/repo/src/obs/json.hpp /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/obs/metrics.hpp \
- /root/repo/src/obs/phase_profile.hpp /usr/include/c++/12/array \
- /root/repo/src/rev/circuit.hpp /root/repo/src/rev/gate.hpp \
- /root/repo/src/rev/cube.hpp /usr/include/c++/12/bit \
- /root/repo/src/rev/truth_table.hpp
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/obs/json.hpp \
+ /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/obs/metrics.hpp /root/repo/src/obs/phase_profile.hpp \
+ /usr/include/c++/12/array /root/repo/src/rev/circuit.hpp \
+ /root/repo/src/rev/gate.hpp /root/repo/src/rev/cube.hpp \
+ /usr/include/c++/12/bit /root/repo/src/rev/truth_table.hpp

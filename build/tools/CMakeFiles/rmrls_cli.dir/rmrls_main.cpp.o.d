@@ -217,6 +217,7 @@ tools/CMakeFiles/rmrls_cli.dir/rmrls_main.cpp.o: \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/core/factor_enum.hpp \
  /root/repo/src/rev/gate.hpp /root/repo/src/obs/phase_profile.hpp \
  /usr/include/c++/12/array /root/repo/src/obs/trace.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/rev/circuit.hpp /root/repo/src/io/spec.hpp \
  /root/repo/src/io/tfc.hpp /root/repo/src/obs/metrics.hpp \
  /root/repo/src/rev/pprm_transform.hpp \

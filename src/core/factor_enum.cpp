@@ -2,10 +2,10 @@
 
 namespace rmrls {
 
-std::vector<Candidate> enumerate_candidates(const Pprm& p,
-                                            const SynthesisOptions& options,
-                                            const Candidate* skip) {
-  std::vector<Candidate> out;
+void enumerate_candidates_into(const Pprm& p, const SynthesisOptions& options,
+                               const Candidate* skip,
+                               std::vector<Candidate>& out) {
+  out.clear();
   const int n = p.num_vars();
   for (int t = 0; t < n; ++t) {
     const CubeList& expansion = p.output(t);
@@ -28,6 +28,13 @@ std::vector<Candidate> enumerate_candidates(const Pprm& p,
       if (skip == nullptr || !(cand == *skip)) out.push_back(cand);
     }
   }
+}
+
+std::vector<Candidate> enumerate_candidates(const Pprm& p,
+                                            const SynthesisOptions& options,
+                                            const Candidate* skip) {
+  std::vector<Candidate> out;
+  enumerate_candidates_into(p, options, skip, out);
   return out;
 }
 

@@ -45,4 +45,11 @@ struct Candidate {
     const Pprm& p, const SynthesisOptions& options,
     const Candidate* skip = nullptr);
 
+/// Same, writing into `out` (cleared first). The search engine reuses one
+/// buffer across every expansion, so the hottest enumeration loop stops
+/// allocating after warmup.
+void enumerate_candidates_into(const Pprm& p, const SynthesisOptions& options,
+                               const Candidate* skip,
+                               std::vector<Candidate>& out);
+
 }  // namespace rmrls

@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace rmrls {
 
@@ -116,6 +117,22 @@ struct SynthesisOptions {
   /// refinement reruns, so it aggregates the whole synthesis.
   PhaseProfile* phase_profile = nullptr;
 
+  /// Worker threads of the parallel engine (docs/parallelism.md). 1 (the
+  /// default) runs the exact sequential search — bit-identical results.
+  /// N > 1 expands the root sequentially, partitions the first-level
+  /// subtrees round-robin by priority across N workers (each with its own
+  /// heap, node arena and Pprm pool), and shares the best-depth bound, the
+  /// node budget and a sharded transposition table between them. 0 means
+  /// "one worker per hardware thread". Parallel results are valid circuits
+  /// but not bit-reproducible run to run (the bound race affects pruning).
+  int num_threads = 1;
+
+  /// Shards (stripes) of the shared transposition table used when
+  /// `num_threads > 1`; each shard is an independently locked map, so
+  /// contention drops roughly linearly in the shard count. Per-shard hit
+  /// counts are reported in SynthesisStats::tt_shard_hits.
+  int tt_shards = 16;
+
   /// Our extension (ablated in bench/ablation): after a circuit of size D
   /// is found, restart the whole search with max_gates = D - 1 on the
   /// remaining node budget, repeating until a search fails. The tighter cap
@@ -155,7 +172,11 @@ enum class TerminationReason : std::uint8_t {
 ///
 /// an invariant asserted by tests/test_obs.cpp. `pruned_stale` counts
 /// *popped* entries (already in children_pushed) discarded at expansion
-/// time, so it is deliberately outside the identity.
+/// time, so it is deliberately outside the identity. A restart re-seed
+/// dropped into a full heap also counts under `dropped_queue_full` (it
+/// must not be silently lost), even though the same child was already
+/// counted `children_pushed` at creation; with the default queue bound
+/// this cannot happen below millions of queued entries.
 struct SynthesisStats {
   std::uint64_t nodes_expanded = 0;   ///< priority-queue pops
   std::uint64_t children_created = 0; ///< substitutions evaluated
@@ -169,7 +190,45 @@ struct SynthesisStats {
   std::uint64_t dropped_queue_full = 0;
   std::uint64_t restarts = 0;
   std::uint64_t solutions_found = 0;
+  /// Worker threads that executed search passes for this run: 1 for the
+  /// sequential engine, SynthesisOptions::num_threads (resolved) for the
+  /// parallel one. Driver passes take the maximum across their sub-runs.
+  std::uint64_t workers = 1;
+  /// Duplicate hits per shard of the shared transposition table (parallel
+  /// engine only; empty for sequential runs, where every duplicate is in
+  /// pruned_duplicate). Summed element-wise when runs accumulate.
+  std::vector<std::uint64_t> tt_shard_hits;
   std::chrono::microseconds elapsed{0};
 };
+
+/// Accumulates `from` into `into`. Used by the multi-pass drivers
+/// (refinement, bidirectional) and the parallel engine when merging
+/// sub-run counters: counts and elapsed add; `workers` takes the maximum
+/// (sub-runs of one driver pass share the same pool); `tt_shard_hits`
+/// merges element-wise.
+inline void accumulate_stats(SynthesisStats& into, const SynthesisStats& from) {
+  into.nodes_expanded += from.nodes_expanded;
+  into.children_created += from.children_created;
+  into.children_pushed += from.children_pushed;
+  into.pruned_elim += from.pruned_elim;
+  into.pruned_depth += from.pruned_depth;
+  into.pruned_max_gates += from.pruned_max_gates;
+  into.pruned_duplicate += from.pruned_duplicate;
+  into.pruned_greedy += from.pruned_greedy;
+  into.pruned_stale += from.pruned_stale;
+  into.dropped_queue_full += from.dropped_queue_full;
+  into.restarts += from.restarts;
+  into.solutions_found += from.solutions_found;
+  if (from.workers > into.workers) into.workers = from.workers;
+  if (!from.tt_shard_hits.empty()) {
+    if (into.tt_shard_hits.size() < from.tt_shard_hits.size()) {
+      into.tt_shard_hits.resize(from.tt_shard_hits.size(), 0);
+    }
+    for (std::size_t i = 0; i < from.tt_shard_hits.size(); ++i) {
+      into.tt_shard_hits[i] += from.tt_shard_hits[i];
+    }
+  }
+  into.elapsed += from.elapsed;
+}
 
 }  // namespace rmrls

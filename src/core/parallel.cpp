@@ -1,0 +1,170 @@
+#include "core/parallel.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "core/search.hpp"
+#include "obs/phase_profile.hpp"
+#include "obs/trace.hpp"
+
+namespace rmrls {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// kSolved > kTimeLimit > kNodeBudget > kQueueExhausted: a solution ending
+/// the run beats everything; a deadline hit anywhere means the run was
+/// time-bound even if other workers drained their queues.
+int precedence(TerminationReason r) {
+  switch (r) {
+    case TerminationReason::kSolved: return 3;
+    case TerminationReason::kTimeLimit: return 2;
+    case TerminationReason::kNodeBudget: return 1;
+    case TerminationReason::kQueueExhausted: return 0;
+  }
+  return 0;
+}
+
+std::chrono::microseconds wall_since(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               start);
+}
+
+}  // namespace
+
+SynthesisResult run_parallel_search(const Pprm& start,
+                                    const SynthesisOptions& options) {
+  const auto wall_start = Clock::now();
+  const int requested = resolve_threads(options.num_threads);
+
+  // Phase 1: expand the root sequentially and harvest the first-level
+  // subtrees (sorted by descending priority).
+  RootExpansion root = Search::expand_root(start, options);
+  SynthesisResult result;
+  result.initial_terms = start.term_count();
+  result.stats = root.stats;
+  result.circuit = Circuit(start.num_vars());
+
+  if (root.identity) {
+    result.success = true;
+    result.termination = TerminationReason::kSolved;
+    result.stats.elapsed = wall_since(wall_start);
+    return result;
+  }
+  if (root.solved) {
+    // A one-gate circuit is optimal (depth 0 would mean the identity), so
+    // there is nothing left to search in parallel.
+    result.success = true;
+    result.circuit.append(root.solution_gate);
+    result.termination = options.stop_at_first_solution
+                             ? TerminationReason::kSolved
+                             : TerminationReason::kQueueExhausted;
+    result.stats.elapsed = wall_since(wall_start);
+    return result;
+  }
+
+  std::uint64_t remaining_budget = 0;  // 0 = unlimited
+  if (options.max_nodes > 0) {
+    if (root.stats.nodes_expanded >= options.max_nodes) {
+      result.termination = TerminationReason::kNodeBudget;
+      result.stats.elapsed = wall_since(wall_start);
+      return result;
+    }
+    remaining_budget = options.max_nodes - root.stats.nodes_expanded;
+  }
+  if (root.seeds.empty()) {
+    // Every first-level child was pruned away: the search space under this
+    // configuration is exhausted.
+    result.termination = TerminationReason::kQueueExhausted;
+    result.stats.elapsed = wall_since(wall_start);
+    return result;
+  }
+
+  // Phase 2: partition the subtrees round-robin by priority across the
+  // workers — never more workers than subtrees.
+  const int num_workers = std::max(
+      1, std::min<int>(requested, static_cast<int>(root.seeds.size())));
+  detail::SharedSearchContext shared(options.tt_shards, remaining_budget);
+  // The root expansion enqueued these states through its (discarded) local
+  // table; re-seed the shared one so no worker can re-reach a peer's seed
+  // through a different path.
+  for (const RootSeed& seed : root.seeds) {
+    shared.seen.check_and_insert(seed.pprm.hash(), 1);
+  }
+  std::vector<std::vector<RootSeed>> partitions(
+      static_cast<std::size_t>(num_workers));
+  for (std::size_t i = 0; i < root.seeds.size(); ++i) {
+    partitions[i % static_cast<std::size_t>(num_workers)].push_back(
+        std::move(root.seeds[i]));
+  }
+
+  // Existing sinks are single-threaded by contract; serialize the workers
+  // onto the user's sink. Phase profiles are merged after the join.
+  SyncTraceSink sync_sink(options.trace_sink);
+  std::vector<PhaseProfile> profiles(static_cast<std::size_t>(num_workers));
+  std::vector<SynthesisResult> worker_results(
+      static_cast<std::size_t>(num_workers));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(num_workers));
+  for (int w = 0; w < num_workers; ++w) {
+    pool.emplace_back([&, w] {
+      SynthesisOptions wopts = options;
+      wopts.num_threads = 1;
+      wopts.max_nodes = 0;  // the shared budget governs, not the local one
+      wopts.trace_sink =
+          options.trace_sink != nullptr ? &sync_sink : nullptr;
+      wopts.phase_profile = options.phase_profile != nullptr
+                                ? &profiles[static_cast<std::size_t>(w)]
+                                : nullptr;
+      Search search(start, wopts,
+                    std::move(partitions[static_cast<std::size_t>(w)]),
+                    &shared);
+      worker_results[static_cast<std::size_t>(w)] = search.run();
+    });
+  }
+  for (std::thread& t : pool) t.join();
+
+  if (options.phase_profile != nullptr) {
+    for (const PhaseProfile& p : profiles) options.phase_profile->merge(p);
+  }
+
+  // Merge: counters add; the winner is the worker holding the smallest
+  // circuit (the SharedBound race guarantees exactly one worker recorded
+  // the final best depth).
+  result.termination = TerminationReason::kQueueExhausted;
+  int best = -1;
+  for (int w = 0; w < num_workers; ++w) {
+    const SynthesisResult& r = worker_results[static_cast<std::size_t>(w)];
+    accumulate_stats(result.stats, r.stats);
+    if (precedence(r.termination) > precedence(result.termination)) {
+      result.termination = r.termination;
+    }
+    if (r.success &&
+        (best < 0 ||
+         r.circuit.gate_count() <
+             worker_results[static_cast<std::size_t>(best)]
+                 .circuit.gate_count())) {
+      best = w;
+    }
+  }
+  if (best >= 0) {
+    result.success = true;
+    result.circuit =
+        std::move(worker_results[static_cast<std::size_t>(best)].circuit);
+  }
+  result.stats.workers = static_cast<std::uint64_t>(num_workers);
+  result.stats.tt_shard_hits = shared.seen.hit_counts();
+  result.stats.elapsed = wall_since(wall_start);  // wall clock, not CPU sum
+  return result;
+}
+
+}  // namespace rmrls

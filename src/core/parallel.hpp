@@ -1,0 +1,159 @@
+/// \file parallel.hpp
+/// \brief The parallel best-first search engine (docs/parallelism.md).
+///
+/// The paper's search is embarrassingly parallel at the root: the restart
+/// heuristic already treats first-level substitutions as independent entry
+/// points. The parallel engine makes that literal — phase 1 expands the
+/// root sequentially, phase 2 partitions the first-level subtrees
+/// round-robin by priority across a worker pool. Each worker runs the
+/// unmodified sequential search over its subtrees (own heap, node arena
+/// and Pprm pool); the workers coordinate through exactly three shared
+/// structures:
+///
+///   * SharedBound      — atomic best solution depth; one worker's circuit
+///                        immediately tightens every worker's
+///                        `bestDepth - 1` pruning.
+///   * ShardedSeenTable — striped-mutex transposition table keyed by
+///                        Pprm::hash(), so workers never re-explore a
+///                        state a peer already enqueued at the same or a
+///                        shallower depth.
+///   * the node budget + stop flag — SynthesisOptions::max_nodes is a
+///                        global budget drawn from atomically; the stop
+///                        flag ends every worker when stop-at-first fires.
+///
+/// `SynthesisOptions::num_threads == 1` never enters this file — the
+/// sequential engine runs unchanged and bit-identically.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/options.hpp"
+#include "rev/pprm.hpp"
+
+namespace rmrls {
+
+struct SynthesisResult;  // core/search.hpp
+
+namespace detail {
+
+/// Atomic best solution depth shared by all search workers. -1 = none.
+class SharedBound {
+ public:
+  [[nodiscard]] int get() const {
+    return best_.load(std::memory_order_relaxed);
+  }
+
+  /// Atomically tightens the bound to `depth` if that improves it.
+  /// Returns whether this caller won the race — the winner (and only the
+  /// winner) owns a circuit of that depth, so exactly one worker records
+  /// each strictly improving solution.
+  bool try_improve(int depth) {
+    int cur = best_.load(std::memory_order_relaxed);
+    while (cur < 0 || depth < cur) {
+      if (best_.compare_exchange_weak(cur, depth,
+                                      std::memory_order_acq_rel)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::atomic<int> best_{-1};
+};
+
+/// Striped-mutex transposition table: best depth at which each PPRM hash
+/// was enqueued by any worker. Shard = independently locked map, picked by
+/// a remix of the state hash, so contention falls roughly linearly with
+/// the shard count. Same depth-aware rule as the sequential table: a
+/// rediscovery at the same or a larger depth is redundant, a shallower one
+/// must be re-expanded or optimality suffers.
+class ShardedSeenTable {
+ public:
+  explicit ShardedSeenTable(int shards)
+      : shards_(static_cast<std::size_t>(shards < 1 ? 1 : shards)) {}
+
+  ShardedSeenTable(const ShardedSeenTable&) = delete;
+  ShardedSeenTable& operator=(const ShardedSeenTable&) = delete;
+
+  /// Returns true when the state should be pruned (already seen at the
+  /// same or a shallower depth); otherwise records `depth` and returns
+  /// false.
+  bool check_and_insert(std::size_t hash, std::int32_t depth) {
+    Shard& s = shards_[shard_of(hash)];
+    const std::lock_guard<std::mutex> lock(s.m);
+    const auto [it, inserted] = s.map.try_emplace(hash, depth);
+    if (inserted) return false;
+    if (it->second <= depth) {
+      ++s.hits;
+      return true;
+    }
+    it->second = depth;
+    return false;
+  }
+
+  /// Duplicate hits per shard (for SynthesisStats::tt_shard_hits).
+  [[nodiscard]] std::vector<std::uint64_t> hit_counts() const {
+    std::vector<std::uint64_t> out;
+    out.reserve(shards_.size());
+    for (const Shard& s : shards_) {
+      const std::lock_guard<std::mutex> lock(s.m);
+      out.push_back(s.hits);
+    }
+    return out;
+  }
+
+ private:
+  /// One cache line per shard header so neighbouring locks don't
+  /// false-share.
+  struct alignas(64) Shard {
+    mutable std::mutex m;
+    std::unordered_map<std::size_t, std::int32_t> map;
+    std::uint64_t hits = 0;
+  };
+
+  [[nodiscard]] std::size_t shard_of(std::size_t hash) const {
+    // Remix before reducing: Pprm::hash()'s low bits also drive the
+    // per-shard map's bucketing.
+    return static_cast<std::size_t>(splitmix64(hash)) % shards_.size();
+  }
+
+  std::vector<Shard> shards_;
+};
+
+/// Everything the workers of one parallel search pass share.
+struct SharedSearchContext {
+  explicit SharedSearchContext(int shards, std::uint64_t node_limit_in)
+      : seen(shards), node_limit(node_limit_in) {}
+
+  SharedBound bound;
+  ShardedSeenTable seen;
+  /// Global node budget (0 = unlimited): every worker pop draws one token.
+  std::atomic<std::uint64_t> nodes_spent{0};
+  std::uint64_t node_limit = 0;
+  /// Raised by the worker that fires stop-at-first; every worker checks it
+  /// once per pop.
+  std::atomic<bool> stop{false};
+
+  /// Claims one node-expansion token; false when the budget is exhausted.
+  bool try_consume_node() {
+    if (node_limit == 0) return true;
+    return nodes_spent.fetch_add(1, std::memory_order_relaxed) < node_limit;
+  }
+};
+
+}  // namespace detail
+
+/// Runs one search pass over `start` with the parallel engine
+/// (`options.num_threads` workers; 0 = one per hardware thread; <= 1 falls
+/// back to the sequential engine). Same contract as Search::run(); see the
+/// file comment for the coordination model.
+[[nodiscard]] SynthesisResult run_parallel_search(
+    const Pprm& start, const SynthesisOptions& options);
+
+}  // namespace rmrls

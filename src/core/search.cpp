@@ -4,6 +4,8 @@
 #include <chrono>
 #include <limits>
 
+#include "core/parallel.hpp"
+
 namespace rmrls {
 
 namespace {
@@ -18,7 +20,28 @@ Search::Search(Pprm start, SynthesisOptions options)
       sink_(options.trace_sink),
       profile_(options.phase_profile) {}
 
+Search::Search(Pprm start, SynthesisOptions options,
+               std::vector<RootSeed> seeds,
+               detail::SharedSearchContext* shared)
+    : start_(std::move(start)),
+      options_(options),
+      num_vars_(start_.num_vars()),
+      initial_terms_(start_.term_count()),
+      shared_(shared),
+      seeds_(std::move(seeds)),
+      sink_(options.trace_sink),
+      profile_(options.phase_profile) {}
+
+int Search::bound() const {
+  if (shared_ == nullptr) return best_depth_;
+  return shared_->bound.get();
+}
+
 void Search::push_entry(QueueEntry entry) {
+  if (push_uncounted(std::move(entry))) ++stats_.children_pushed;
+}
+
+bool Search::push_uncounted(QueueEntry entry) {
   if (heap_.size() >= options_.max_queue) {
     ++stats_.dropped_queue_full;
     if (sink_) {
@@ -28,17 +51,13 @@ void Search::push_entry(QueueEntry entry) {
       e.terms = entry.terms;
       emit(e);
     }
-    return;
+    pool_.release(std::move(entry.pprm));
+    return false;
   }
-  push_uncounted(std::move(entry));
-  ++stats_.children_pushed;
-}
-
-void Search::push_uncounted(QueueEntry entry) {
-  if (heap_.size() >= options_.max_queue) return;  // re-seed into a full heap
   const ScopedPhaseTimer timer(profile_, Phase::kHeapOps);
   heap_.push_back(std::move(entry));
   std::push_heap(heap_.begin(), heap_.end(), EntryLess{});
+  return true;
 }
 
 Search::QueueEntry Search::pop_entry() {
@@ -72,17 +91,40 @@ Circuit Search::extract_circuit(std::int32_t leaf) const {
   return c;
 }
 
+bool Search::record_solution(std::int32_t parent, const Gate& gate,
+                             int child_depth, std::uint8_t exempt_count) {
+  // In shared mode only the worker that wins the atomic bound race records
+  // the circuit — a loser's solution is at/beyond a depth some peer
+  // already realized.
+  const bool record = shared_ != nullptr
+                          ? shared_->bound.try_improve(child_depth)
+                          : best_depth_ < 0 || child_depth < best_depth_;
+  if (!record) return false;
+  arena_.push_back({parent, gate, child_depth, exempt_count, false});
+  best_node_ = static_cast<std::int32_t>(arena_.size()) - 1;
+  best_depth_ = child_depth;
+  ++stats_.solutions_found;
+  pops_since_improvement_ = 0;
+  TraceEvent e;
+  e.kind = TraceEventKind::kSolutionFound;
+  e.depth = child_depth;
+  e.terms = num_vars_;
+  e.gates = child_depth;
+  emit(e);
+  return true;
+}
+
 bool Search::expand(QueueEntry entry) {
   // Copy out of the arena: expand() appends to it, invalidating references.
   const NodeRecord node = arena_[entry.node];
   const Candidate skip{node.gate.target, node.gate.controls};
   const bool is_root = node.parent < 0;
-  std::vector<Candidate> candidates;
   {
     const ScopedPhaseTimer timer(profile_, Phase::kFactorEnum);
-    candidates = enumerate_candidates(entry.pprm, options_,
-                                      is_root ? nullptr : &skip);
+    enumerate_candidates_into(entry.pprm, options_,
+                              is_root ? nullptr : &skip, candidates_buf_);
   }
+  const std::vector<Candidate>& candidates = candidates_buf_;
 
   // Children are priced read-only (substitute_delta); only the ones that
   // survive pruning are materialized, which is the search's hot path.
@@ -108,10 +150,11 @@ bool Search::expand(QueueEntry entry) {
                                 initial_terms_ - ce.terms, cand.factor);
       if (ce.terms == num_vars_) {
         // Only a system with exactly one term per output can be the
-        // identity; confirm by materializing.
-        Pprm materialized = entry.pprm;
-        materialized.substitute(cand.target, cand.factor);
+        // identity; confirm by materializing (into a pooled system).
+        Pprm materialized = pool_.acquire();
+        entry.pprm.substitute_into(cand.target, cand.factor, materialized);
         ce.solved = materialized.is_identity();
+        pool_.release(std::move(materialized));
       }
       ++stats_.children_created;
       children.push_back(ce);
@@ -123,21 +166,14 @@ bool Search::expand(QueueEntry entry) {
   // any other child at/beyond bestDepth.
   for (const ChildEval& ce : children) {
     if (!ce.solved) continue;
-    if (best_depth_ < 0 || child_depth < best_depth_) {
-      arena_.push_back({entry.node, Gate(ce.cand.factor, ce.cand.target),
-                        child_depth, node.exempt_count, false});
-      best_node_ = static_cast<std::int32_t>(arena_.size()) - 1;
-      best_depth_ = child_depth;
-      ++stats_.solutions_found;
-      pops_since_improvement_ = 0;
-      TraceEvent e;
-      e.kind = TraceEventKind::kSolutionFound;
-      e.depth = child_depth;
-      e.terms = num_vars_;
-      e.gates = child_depth;
-      emit(e);
+    if (record_solution(entry.node, Gate(ce.cand.factor, ce.cand.target),
+                        child_depth, node.exempt_count)) {
       if (options_.stop_at_first_solution) {
+        if (shared_ != nullptr) {
+          shared_->stop.store(true, std::memory_order_release);
+        }
         termination_ = TerminationReason::kSolved;
+        pool_.release(std::move(entry.pprm));
         return true;
       }
     } else {
@@ -207,7 +243,8 @@ bool Search::expand(QueueEntry entry) {
       emit_prune(PruneReason::kElim, child_depth, ce.terms);
       continue;
     }
-    if (best_depth_ >= 0 && child_depth >= best_depth_ - 1) {
+    const int bd = bound();
+    if (bd >= 0 && child_depth >= bd - 1) {
       ++stats_.pruned_depth;
       emit_prune(PruneReason::kDepth, child_depth, ce.terms);
       continue;
@@ -217,22 +254,35 @@ bool Search::expand(QueueEntry entry) {
       emit_prune(PruneReason::kMaxGates, child_depth, ce.terms);
       continue;
     }
-    // Materialize only now: everything pruned above never paid for a copy.
-    Pprm materialized = entry.pprm;
+    // Materialize only now, into a pooled system: everything pruned above
+    // never paid for a copy, and nothing here pays for an allocation.
+    Pprm materialized = pool_.acquire();
     {
       const ScopedPhaseTimer timer(profile_, Phase::kSubstitute);
-      materialized.substitute(ce.cand.target, ce.cand.factor);
+      entry.pprm.substitute_into(ce.cand.target, ce.cand.factor,
+                                 materialized);
     }
     if (options_.use_transposition_table) {
-      const auto [it, inserted] =
-          seen_.try_emplace(materialized.hash(), child_depth);
-      if (!inserted) {
-        if (it->second <= child_depth) {
-          ++stats_.pruned_duplicate;
-          emit_prune(PruneReason::kDuplicate, child_depth, ce.terms);
-          continue;
+      const std::size_t state_hash = materialized.hash();
+      bool duplicate = false;
+      if (shared_ != nullptr) {
+        duplicate = shared_->seen.check_and_insert(state_hash, child_depth);
+      } else {
+        const auto [it, inserted] =
+            seen_.try_emplace(state_hash, child_depth);
+        if (!inserted) {
+          if (it->second <= child_depth) {
+            duplicate = true;
+          } else {
+            it->second = child_depth;
+          }
         }
-        it->second = child_depth;
+      }
+      if (duplicate) {
+        ++stats_.pruned_duplicate;
+        emit_prune(PruneReason::kDuplicate, child_depth, ce.terms);
+        pool_.release(std::move(materialized));
+        continue;
       }
     }
     arena_.push_back(
@@ -248,12 +298,14 @@ bool Search::expand(QueueEntry entry) {
     if (is_root) root_children_.push_back(child);  // copy kept for restarts
     push_entry(std::move(child));
   }
+  pool_.release(std::move(entry.pprm));
   return false;
 }
 
 void Search::restart() {
   ++stats_.restarts;
   pops_since_improvement_ = 0;
+  for (QueueEntry& e : heap_) pool_.release(std::move(e.pprm));
   heap_.clear();
   ++restart_index_;
   {
@@ -263,16 +315,64 @@ void Search::restart() {
   }
   // Re-seed with the remaining first-level alternatives, skipping the
   // leaders already pursued (paper, Section IV-E: "restart the search from
-  // the top of the search tree with a different substitution").
-  std::vector<QueueEntry> seeds(root_children_.begin(), root_children_.end());
-  std::stable_sort(seeds.begin(), seeds.end(), [](const QueueEntry& a,
-                                                  const QueueEntry& b) {
-    return EntryLess{}(b, a);  // descending priority
-  });
-  // Re-seeds were already counted as children when first created.
-  for (std::size_t i = restart_index_; i < seeds.size(); ++i) {
-    push_uncounted(seeds[i]);
+  // the top of the search tree with a different substitution"). The saved
+  // children are sorted once, on the first restart; every later restart
+  // indexes into the same order instead of re-copying and re-sorting.
+  if (!root_sorted_) {
+    std::stable_sort(root_children_.begin(), root_children_.end(),
+                     [](const QueueEntry& a, const QueueEntry& b) {
+                       return EntryLess{}(b, a);  // descending priority
+                     });
+    root_sorted_ = true;
   }
+  // Re-seeds were already counted as children when first created.
+  for (std::size_t i = restart_index_; i < root_children_.size(); ++i) {
+    if (i == restart_index_) {
+      // Future restarts re-seed from strictly later indices, so this
+      // alternative's system is moved into the heap, not copied.
+      push_uncounted(std::move(root_children_[i]));
+    } else {
+      push_uncounted(root_children_[i]);
+    }
+  }
+}
+
+RootExpansion Search::expand_root(const Pprm& start,
+                                  const SynthesisOptions& options) {
+  // One pop (the root) through the regular engine, then harvest: the
+  // sequential and parallel engines price, prune and count first-level
+  // children identically by construction.
+  SynthesisOptions root_options = options;
+  root_options.max_nodes = 1;
+  Search search(start, root_options);
+  const SynthesisResult r = search.run();
+  RootExpansion root;
+  root.stats = r.stats;
+  if (start.is_identity()) {
+    root.identity = true;
+    return root;
+  }
+  if (search.best_node_ >= 0) {
+    root.solved = true;
+    root.solution_gate = search.arena_[search.best_node_].gate;
+  }
+  root.seeds.reserve(search.root_children_.size());
+  for (QueueEntry& e : search.root_children_) {
+    const NodeRecord& node = search.arena_[e.node];
+    RootSeed seed;
+    seed.gate = node.gate;
+    seed.priority = e.priority;
+    seed.terms = e.terms;
+    seed.exempt_count = node.exempt_count;
+    seed.exempt = node.exempt;
+    seed.pprm = std::move(e.pprm);
+    root.seeds.push_back(std::move(seed));
+  }
+  std::stable_sort(root.seeds.begin(), root.seeds.end(),
+                   [](const RootSeed& a, const RootSeed& b) {
+                     return a.priority > b.priority;
+                   });
+  return root;
 }
 
 SynthesisResult Search::run() {
@@ -305,17 +405,48 @@ SynthesisResult Search::run() {
   }
 
   arena_.push_back({-1, Gate(), 0, 0, false});
-  QueueEntry root;
-  root.priority = std::numeric_limits<double>::infinity();
-  root.seq = next_seq_++;
-  root.node = 0;
-  root.terms = initial_terms_;
-  root.pprm = start_;
-  push_uncounted(std::move(root));  // the root is not a child
+  if (seeds_.empty()) {
+    QueueEntry root;
+    root.priority = std::numeric_limits<double>::infinity();
+    root.seq = next_seq_++;
+    root.node = 0;
+    root.terms = initial_terms_;
+    root.pprm = start_;
+    push_uncounted(std::move(root));  // the root is not a child
+  } else {
+    // Worker mode: adopt the pre-expanded first-level subtrees. They were
+    // counted (children_created / children_pushed) by the root expansion,
+    // and they arrive sorted by descending priority, so the restart
+    // heuristic indexes into them directly.
+    root_children_.reserve(seeds_.size());
+    for (RootSeed& seed : seeds_) {
+      arena_.push_back({0, seed.gate, 1, seed.exempt_count, seed.exempt});
+      QueueEntry e;
+      e.priority = seed.priority;
+      e.seq = next_seq_++;
+      e.node = static_cast<std::int32_t>(arena_.size()) - 1;
+      e.terms = seed.terms;
+      e.pprm = std::move(seed.pprm);
+      root_children_.push_back(e);  // copy kept for restarts
+      push_uncounted(std::move(e));
+    }
+    seeds_.clear();
+    root_sorted_ = true;
+  }
 
   termination_ = TerminationReason::kQueueExhausted;
   while (!heap_.empty()) {
-    if (options_.max_nodes > 0 && stats_.nodes_expanded >= options_.max_nodes) {
+    if (shared_ != nullptr) {
+      if (shared_->stop.load(std::memory_order_acquire)) {
+        termination_ = TerminationReason::kSolved;  // a peer fired stop
+        break;
+      }
+      if (!shared_->try_consume_node()) {
+        termination_ = TerminationReason::kNodeBudget;
+        break;
+      }
+    } else if (options_.max_nodes > 0 &&
+               stats_.nodes_expanded >= options_.max_nodes) {
       termination_ = TerminationReason::kNodeBudget;
       break;
     }
@@ -326,7 +457,7 @@ SynthesisResult Search::run() {
     // The restart heuristic (Section IV-E) fires only while no solution
     // has been found at all: once one exists, best-first refinement under
     // the bestDepth - 1 pruning rule takes over.
-    if (options_.restart_interval > 0 && best_depth_ < 0 &&
+    if (options_.restart_interval > 0 && bound() < 0 &&
         !root_children_.empty() &&
         pops_since_improvement_ >= options_.restart_interval) {
       if (restart_index_ + 1 >= root_children_.size()) break;
@@ -350,14 +481,17 @@ SynthesisResult Search::run() {
     // Entries enqueued before the best solution shrank are discarded here;
     // they were counted children_pushed at creation, so they get their own
     // counter instead of the child-prune ones.
-    if (best_depth_ >= 0 && depth >= best_depth_ - 1) {
+    const int bd = bound();
+    if (bd >= 0 && depth >= bd - 1) {
       ++stats_.pruned_stale;
       emit_prune(PruneReason::kStale, depth, entry.terms);
+      pool_.release(std::move(entry.pprm));
       continue;
     }
     if (options_.max_gates > 0 && depth >= options_.max_gates) {
       ++stats_.pruned_stale;
       emit_prune(PruneReason::kStale, depth, entry.terms);
+      pool_.release(std::move(entry.pprm));
       continue;
     }
     if (expand(std::move(entry))) break;  // stop-at-first fired

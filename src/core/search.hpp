@@ -22,6 +22,10 @@
 
 namespace rmrls {
 
+namespace detail {
+struct SharedSearchContext;  // core/parallel.hpp
+}
+
 /// Outcome of one synthesis run.
 struct SynthesisResult {
   bool success = false;
@@ -34,10 +38,46 @@ struct SynthesisResult {
   TerminationReason termination = TerminationReason::kQueueExhausted;
 };
 
+/// One first-level subtree of the search: a root child produced by a
+/// single substitution, with everything a parallel worker needs to adopt
+/// it (core/parallel.hpp).
+struct RootSeed {
+  Gate gate;
+  double priority = 0.0;
+  std::int32_t terms = 0;
+  std::uint8_t exempt_count = 0;
+  bool exempt = false;
+  Pprm pprm;
+};
+
+/// Harvest of expanding only the root (phase 1 of the parallel engine).
+struct RootExpansion {
+  std::vector<RootSeed> seeds;  ///< descending priority (creation order ties)
+  SynthesisStats stats;         ///< counters of the root expansion
+  bool identity = false;        ///< the spec is already the identity
+  bool solved = false;          ///< a one-gate solution was found
+  Gate solution_gate;           ///< valid when `solved`
+};
+
 /// One run of the best-first search. Not reusable; construct per call.
 class Search {
  public:
   Search(Pprm start, SynthesisOptions options);
+
+  /// Worker of the parallel engine: adopts pre-expanded first-level
+  /// subtrees instead of expanding the root itself, and coordinates with
+  /// its peers through `shared` (best-depth bound, node budget, sharded
+  /// transposition table, stop flag). `seeds` must be sorted by
+  /// descending priority. With `shared == nullptr` behaves sequentially
+  /// over the given subtrees.
+  Search(Pprm start, SynthesisOptions options, std::vector<RootSeed> seeds,
+         detail::SharedSearchContext* shared);
+
+  /// Expands only the root and harvests the surviving first-level
+  /// subtrees, sorted by descending priority (phase 1 of the parallel
+  /// engine; docs/parallelism.md).
+  [[nodiscard]] static RootExpansion expand_root(
+      const Pprm& start, const SynthesisOptions& options);
 
   /// Runs to completion (queue empty, budget exhausted, or first solution
   /// in stop-at-first mode) and returns the best circuit found.
@@ -75,10 +115,24 @@ class Search {
 
   /// Enqueues a new child, counting it (children_pushed / queue drops).
   void push_entry(QueueEntry entry);
-  /// Enqueues without touching the counters — root seeding and restart
-  /// re-seeds re-push entries that were already counted at creation.
-  void push_uncounted(QueueEntry entry);
+  /// Enqueues without counting children_pushed — root seeding and restart
+  /// re-seeds re-push entries that were already counted at creation. A
+  /// push into a full heap still counts dropped_queue_full and emits
+  /// kQueueDrop (a silently lost re-seed would undercount drops). Returns
+  /// whether the entry was actually enqueued.
+  bool push_uncounted(QueueEntry entry);
   [[nodiscard]] QueueEntry pop_entry();
+
+  /// The depth bound governing the `bestDepth - 1` pruning rule: the
+  /// shared atomic bound when this search is a parallel worker, the local
+  /// best depth otherwise. -1 = no solution anywhere yet.
+  [[nodiscard]] int bound() const;
+
+  /// Records a solution at `child_depth`. In shared mode only the worker
+  /// that wins the atomic bound race records it (so exactly one worker
+  /// owns each strictly improving depth). Returns whether it was recorded.
+  bool record_solution(std::int32_t parent, const Gate& gate,
+                       int child_depth, std::uint8_t exempt_count);
 
   /// Expands `entry`: evaluates every candidate substitution, records
   /// solutions, and enqueues surviving children. Returns true if the
@@ -97,11 +151,24 @@ class Search {
   int num_vars_ = 0;
   int initial_terms_ = 0;
 
+  /// Parallel-worker coordination (null for the sequential engine).
+  detail::SharedSearchContext* shared_ = nullptr;
+  /// Worker mode: first-level subtrees adopted instead of a root node.
+  std::vector<RootSeed> seeds_;
+
+  /// Recycles the Pprm of every pruned child and expanded entry; the hot
+  /// path materializes via Pprm::substitute_into into pooled systems and
+  /// stops allocating after warmup.
+  PprmPool pool_;
+  /// Reused across expansions by enumerate_candidates_into.
+  std::vector<Candidate> candidates_buf_;
+
   std::vector<NodeRecord> arena_;
   std::vector<QueueEntry> heap_;  // std::push_heap/pop_heap with EntryLess
   std::uint64_t next_seq_ = 0;
 
   std::vector<QueueEntry> root_children_;  // saved for the restart heuristic
+  bool root_sorted_ = false;  // sorted once, every restart indexes into it
   std::size_t restart_index_ = 0;
   std::uint64_t pops_since_improvement_ = 0;
 

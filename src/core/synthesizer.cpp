@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <random>
 
+#include "core/parallel.hpp"
 #include "obs/phase_profile.hpp"
 #include "obs/trace.hpp"
 #include "rev/pprm_transform.hpp"
@@ -12,20 +13,11 @@ namespace rmrls {
 
 namespace {
 
-void accumulate(SynthesisStats& into, const SynthesisStats& from) {
-  into.nodes_expanded += from.nodes_expanded;
-  into.children_created += from.children_created;
-  into.children_pushed += from.children_pushed;
-  into.pruned_elim += from.pruned_elim;
-  into.pruned_depth += from.pruned_depth;
-  into.pruned_max_gates += from.pruned_max_gates;
-  into.pruned_duplicate += from.pruned_duplicate;
-  into.pruned_greedy += from.pruned_greedy;
-  into.pruned_stale += from.pruned_stale;
-  into.dropped_queue_full += from.dropped_queue_full;
-  into.restarts += from.restarts;
-  into.solutions_found += from.solutions_found;
-  into.elapsed += from.elapsed;
+/// One search pass: the sequential engine for num_threads == 1 (exact
+/// pre-existing behavior), the parallel engine otherwise.
+SynthesisResult run_search(const Pprm& spec, const SynthesisOptions& options) {
+  if (options.num_threads == 1) return Search(spec, options).run();
+  return run_parallel_search(spec, options);
 }
 
 /// Tells the trace sink (if any) that the driver starts an
@@ -47,7 +39,7 @@ SynthesisResult synthesize(const Pprm& spec, const SynthesisOptions& options) {
   if (refine && options.max_nodes > 0) {
     first.max_nodes = std::max<std::uint64_t>(options.max_nodes / 2, 1);
   }
-  SynthesisResult result = Search(spec, first).run();
+  SynthesisResult result = run_search(spec, first);
   if (!refine) return result;
   SynthesisOptions scope = options;  // options for the refinement reruns
   if (!result.success) {
@@ -62,8 +54,8 @@ SynthesisResult synthesize(const Pprm& spec, const SynthesisOptions& options) {
     rest.max_nodes = options.max_nodes - result.stats.nodes_expanded;
     rest.iterative_refinement = false;
     rest.exempt_scope = SynthesisOptions::ExemptScope::kAny;
-    SynthesisResult retry = Search(spec, rest).run();
-    accumulate(retry.stats, result.stats);
+    SynthesisResult retry = run_search(spec, rest);
+    accumulate_stats(retry.stats, result.stats);
     if (!retry.success) return retry;
     result = std::move(retry);
     scope.exempt_scope = SynthesisOptions::ExemptScope::kAny;
@@ -82,8 +74,8 @@ SynthesisResult synthesize(const Pprm& spec, const SynthesisOptions& options) {
     tighter.max_gates = result.circuit.gate_count() - 1;
     tighter.iterative_refinement = false;
     emit_refinement_round(options, result.circuit.gate_count());
-    SynthesisResult next = Search(spec, tighter).run();
-    accumulate(result.stats, next.stats);
+    SynthesisResult next = run_search(spec, tighter);
+    accumulate_stats(result.stats, next.stats);
     // The last pass executed is why the overall synthesis stopped looking.
     result.termination = next.termination;
     if (!next.success) break;
@@ -117,7 +109,7 @@ SynthesisResult synthesize_bidirectional(const TruthTable& spec,
     rest.max_nodes = options.max_nodes - spent;
   }
   SynthesisResult backward = synthesize(spec.inverse(), rest);
-  accumulate(forward.stats, backward.stats);
+  accumulate_stats(forward.stats, backward.stats);
   forward.termination = backward.termination;  // the last pass executed
   if (!backward.success) return forward;
   Circuit mirrored = backward.circuit.inverse();

@@ -12,7 +12,7 @@ const std::vector<std::string>& metrics_required_keys() {
   static const std::vector<std::string> keys = {
       "schema",        "success",     "termination", "nodes_expanded",
       "children_created", "children_pushed", "solutions_found",
-      "elapsed_us",    "gates",       "quantum_cost",
+      "elapsed_us",    "gates",       "quantum_cost", "workers",
   };
   return keys;
 }
@@ -62,6 +62,18 @@ MetricsRegistry& MetricsRegistry::add_stats(const SynthesisStats& stats,
   set("dropped_queue_full", stats.dropped_queue_full);
   set("restarts", stats.restarts);
   set("solutions_found", stats.solutions_found);
+  set("workers", stats.workers);
+  if (!stats.tt_shard_hits.empty()) {
+    // Per-shard duplicate hits of the shared transposition table; only
+    // parallel runs carry them, so sequential records stay unchanged.
+    std::string array = "[";
+    for (std::size_t i = 0; i < stats.tt_shard_hits.size(); ++i) {
+      if (i > 0) array += ',';
+      array += std::to_string(stats.tt_shard_hits[i]);
+    }
+    array += ']';
+    fields_.emplace_back("tt_shard_hits", array);
+  }
   set("elapsed_us",
       static_cast<std::uint64_t>(stats.elapsed.count() < 0
                                      ? 0

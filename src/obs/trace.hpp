@@ -21,6 +21,7 @@
 #include <array>
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -122,6 +123,24 @@ class RecordingTraceSink final : public TraceSink {
   [[nodiscard]] std::uint64_t count(PruneReason reason) const;
 
   std::vector<TraceEvent> events;
+};
+
+/// Serializes concurrent emitters onto a single downstream sink. The
+/// parallel engine (core/parallel.hpp) wraps the user's sink in one of
+/// these, so existing sinks stay single-threaded; events from different
+/// workers interleave in lock-acquisition order.
+class SyncTraceSink final : public TraceSink {
+ public:
+  explicit SyncTraceSink(TraceSink* inner) : inner_(inner) {}
+  void on_event(const TraceEvent& event) override {
+    if (inner_ == nullptr) return;
+    const std::lock_guard<std::mutex> lock(m_);
+    inner_->on_event(event);
+  }
+
+ private:
+  TraceSink* inner_;
+  std::mutex m_;
 };
 
 /// Forwards every event to each registered sink, in order.

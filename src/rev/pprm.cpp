@@ -31,7 +31,10 @@ CubeList::CubeList(std::vector<Cube> cubes) : cubes_(std::move(cubes)) {
   for (std::size_t i = 0; i < cubes_.size();) {
     std::size_t j = i;
     while (j < cubes_.size() && cubes_[j] == cubes_[i]) ++j;
-    if ((j - i) % 2 == 1) kept.push_back(cubes_[i]);
+    if ((j - i) % 2 == 1) {
+      kept.push_back(cubes_[i]);
+      hash_ ^= cube_hash(cubes_[i]);
+    }
     i = j;
   }
   cubes_ = std::move(kept);
@@ -44,6 +47,7 @@ void CubeList::toggle(Cube c) {
   } else {
     cubes_.insert(it, c);
   }
+  hash_ ^= cube_hash(c);
 }
 
 void CubeList::toggle_all(const CubeList& other) {
@@ -65,6 +69,7 @@ void CubeList::toggle_all(const CubeList& other) {
   merged.insert(merged.end(), a, cubes_.end());
   merged.insert(merged.end(), b, other.cubes_.end());
   cubes_ = std::move(merged);
+  hash_ ^= other.hash_;  // symmetric difference: toggled cubes cancel
 }
 
 bool CubeList::contains(Cube c) const {
@@ -98,6 +103,58 @@ int CubeList::substitute(int t, Cube f) {
   const int before = size();
   toggle_all(CubeList{std::move(added)});
   return size() - before;
+}
+
+int CubeList::substitute_into(int t, Cube f, CubeList& dst) const {
+  const Cube bit = cube_of_var(t);
+  if (f & bit) throw std::invalid_argument("factor contains target variable");
+  // Rewritten cubes, sorted and XOR-deduplicated. The scratch buffer is
+  // per-thread so parallel search workers never contend (and after warmup
+  // this function performs no allocation beyond dst's own growth).
+  static thread_local std::vector<Cube> scratch;
+  scratch.clear();
+  for (Cube c : cubes_) {
+    if (c & bit) scratch.push_back((c & ~bit) | f);
+  }
+  if (scratch.empty()) {  // no cube contains v_t: the result is a copy
+    dst.cubes_ = cubes_;  // vector assignment reuses dst's capacity
+    dst.hash_ = hash_;
+    return 0;
+  }
+  std::sort(scratch.begin(), scratch.end());
+  std::uint64_t rewritten_hash = 0;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < scratch.size();) {
+    std::size_t j = i;
+    while (j < scratch.size() && scratch[j] == scratch[i]) ++j;
+    if ((j - i) % 2 == 1) {
+      scratch[kept++] = scratch[i];
+      rewritten_hash ^= cube_hash(scratch[i]);
+    }
+    i = j;
+  }
+  // Merge the sorted symmetric difference of cubes_ and the rewritten
+  // terms directly into dst.
+  dst.cubes_.clear();
+  dst.cubes_.reserve(cubes_.size() + kept);
+  auto a = cubes_.begin();
+  const auto a_end = cubes_.end();
+  std::size_t b = 0;
+  while (a != a_end && b < kept) {
+    if (*a < scratch[b]) {
+      dst.cubes_.push_back(*a++);
+    } else if (scratch[b] < *a) {
+      dst.cubes_.push_back(scratch[b++]);
+    } else {
+      ++a;
+      ++b;
+    }
+  }
+  dst.cubes_.insert(dst.cubes_.end(), a, a_end);
+  dst.cubes_.insert(dst.cubes_.end(), scratch.begin() + b,
+                    scratch.begin() + kept);
+  dst.hash_ = hash_ ^ rewritten_hash;
+  return dst.size() - size();
 }
 
 int CubeList::substitute_delta(int t, Cube f) const {
@@ -179,6 +236,16 @@ int Pprm::substitute(int t, Cube f) {
   return delta;
 }
 
+int Pprm::substitute_into(int t, Cube f, Pprm& dst) const {
+  // Reuses dst's per-output cube buffers; dst must not alias *this.
+  dst.outs_.resize(outs_.size());
+  int delta = 0;
+  for (std::size_t i = 0; i < outs_.size(); ++i) {
+    delta += outs_[i].substitute_into(t, f, dst.outs_[i]);
+  }
+  return delta;
+}
+
 int Pprm::substitute_delta(int t, Cube f) const {
   int delta = 0;
   for (const CubeList& o : outs_) delta += o.substitute_delta(t, f);
@@ -204,20 +271,15 @@ std::string Pprm::to_string() const {
 }
 
 std::size_t Pprm::hash() const {
-  // FNV-1a over the cube stream; outputs are separated by a sentinel so
-  // that term movement between outputs changes the hash.
-  std::size_t h = 1469598103934665603ull;
-  auto mix = [&h](std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (v >> (8 * i)) & 0xff;
-      h *= 1099511628211ull;
-    }
-  };
-  for (const CubeList& o : outs_) {
-    for (Cube c : o.cubes()) mix(c);
-    mix(~std::uint64_t{0});  // sentinel between outputs
+  // Combines the incrementally maintained per-output hashes; salting by
+  // the output index makes term movement between outputs change the hash.
+  // O(num_vars) instead of a pass over every cube — the transposition
+  // table hashes every materialized child, so this is a search hot path.
+  std::uint64_t h = 0x243f6a8885a308d3ull;  // pi, arbitrary nonzero seed
+  for (std::size_t i = 0; i < outs_.size(); ++i) {
+    h += splitmix64(outs_[i].raw_hash() + 0x9e3779b97f4a7c15ull * (i + 1));
   }
-  return h;
+  return static_cast<std::size_t>(h);
 }
 
 std::ostream& operator<<(std::ostream& os, const Pprm& p) {

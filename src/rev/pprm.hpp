@@ -23,6 +23,19 @@
 
 namespace rmrls {
 
+/// SplitMix64 finalizer: the per-cube mixer behind the incremental hashes.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Hash of one cube as used by the incremental expansion hash.
+[[nodiscard]] constexpr std::uint64_t cube_hash(Cube c) noexcept {
+  return splitmix64(static_cast<std::uint64_t>(c));
+}
+
 /// A single-output PPRM expansion: an XOR of cubes, stored sorted and unique.
 class CubeList {
  public:
@@ -58,6 +71,12 @@ class CubeList {
   /// Returns the change in term count (negative when terms cancelled).
   int substitute(int t, Cube f);
 
+  /// Builds the result of `substitute(t, f)` applied to *this* directly
+  /// into `dst` (whose buffers are reused — the search engine passes
+  /// pooled destinations so the hot path stops allocating). `*this` is
+  /// untouched. Returns the change in term count.
+  int substitute_into(int t, Cube f, CubeList& dst) const;
+
   /// Term-count change `substitute(t, f)` would cause, without mutating.
   /// The search engine uses this to price every candidate and only
   /// materializes the children it actually enqueues.
@@ -69,13 +88,22 @@ class CubeList {
   /// Sorted, duplicate-free view of the terms.
   [[nodiscard]] const std::vector<Cube>& cubes() const { return cubes_; }
 
+  /// Order-independent hash of the expansion, maintained incrementally:
+  /// the XOR of cube_hash() over the terms. XOR is its own inverse, so a
+  /// toggle is one mix and a symmetric difference is one XOR — no pass
+  /// over the cubes is ever needed.
+  [[nodiscard]] std::uint64_t raw_hash() const { return hash_; }
+
   /// Renders as e.g. "b + c + ac" (the paper writes XOR as +/oplus).
   [[nodiscard]] std::string to_string(int num_vars = kMaxVariables) const;
 
-  friend bool operator==(const CubeList&, const CubeList&) = default;
+  friend bool operator==(const CubeList& a, const CubeList& b) {
+    return a.cubes_ == b.cubes_;  // hash_ is derived, not identity
+  }
 
  private:
-  std::vector<Cube> cubes_;  // sorted ascending, no duplicates
+  std::vector<Cube> cubes_;     // sorted ascending, no duplicates
+  std::uint64_t hash_ = 0;      // XOR of cube_hash over cubes_
 };
 
 /// The PPRM expansions of every output of an n-line reversible function.
@@ -107,6 +135,11 @@ class Pprm {
   /// Returns the change in total term count.
   int substitute(int t, Cube f);
 
+  /// Builds the result of `substitute(t, f)` applied to *this* into `dst`,
+  /// reusing dst's per-output buffers (the search engine passes pooled
+  /// systems). `*this` is untouched. Returns the change in term count.
+  int substitute_into(int t, Cube f, Pprm& dst) const;
+
   /// Total term-count change `substitute(t, f)` would cause, read-only.
   [[nodiscard]] int substitute_delta(int t, Cube f) const;
 
@@ -118,6 +151,8 @@ class Pprm {
   [[nodiscard]] std::string to_string() const;
 
   /// Order-independent hash of the whole system (for transposition tables).
+  /// O(num_vars): combines the incrementally maintained per-output hashes,
+  /// never walking the cubes.
   [[nodiscard]] std::size_t hash() const;
 
   friend bool operator==(const Pprm&, const Pprm&) = default;
@@ -127,5 +162,32 @@ class Pprm {
 };
 
 std::ostream& operator<<(std::ostream& os, const Pprm& p);
+
+/// Free list of Pprm systems for the search hot path: every materialized
+/// child that gets pruned (and every expanded queue entry) returns here,
+/// and the next materialization reuses its per-output buffers instead of
+/// reallocating. Single-threaded; each search worker owns one.
+class PprmPool {
+ public:
+  /// A recycled system (buffers intact) or a fresh empty one.
+  [[nodiscard]] Pprm acquire() {
+    if (free_.empty()) return Pprm();
+    Pprm p = std::move(free_.back());
+    free_.pop_back();
+    return p;
+  }
+
+  void release(Pprm&& p) {
+    if (free_.size() < kMaxRetained) free_.push_back(std::move(p));
+  }
+
+  [[nodiscard]] std::size_t size() const { return free_.size(); }
+
+ private:
+  /// Enough to cover a full expansion's churn; beyond this the pool would
+  /// just hoard the peak queue's memory.
+  static constexpr std::size_t kMaxRetained = 1024;
+  std::vector<Pprm> free_;
+};
 
 }  // namespace rmrls

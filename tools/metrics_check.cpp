@@ -68,6 +68,37 @@ bool check_record(const std::string& line, const std::string& where) {
     std::cerr << where << ": nodes_expanded is not a non-negative number\n";
     return false;
   }
+  const JsonValue* workers = parsed->find("workers");
+  if (!workers->is_number() || workers->number < 1) {
+    std::cerr << where << ": workers is not a number >= 1\n";
+    return false;
+  }
+  // Optional per-shard transposition hit counts (parallel engine only):
+  // an array of non-negative numbers whose sum cannot exceed the total
+  // duplicate prunes (sequential passes of the same run may add more).
+  const JsonValue* shard_hits = parsed->find("tt_shard_hits");
+  if (shard_hits != nullptr) {
+    if (shard_hits->type != JsonValue::Type::kArray) {
+      std::cerr << where << ": tt_shard_hits is not an array\n";
+      return false;
+    }
+    double sum = 0.0;
+    for (const JsonValue& v : shard_hits->array) {
+      if (!v.is_number() || v.number < 0) {
+        std::cerr << where
+                  << ": tt_shard_hits element is not a non-negative number\n";
+        return false;
+      }
+      sum += v.number;
+    }
+    const JsonValue* duplicates = parsed->find("pruned_duplicate");
+    if (duplicates == nullptr || !duplicates->is_number() ||
+        sum > duplicates->number) {
+      std::cerr << where << ": tt_shard_hits sum (" << sum
+                << ") exceeds pruned_duplicate\n";
+      return false;
+    }
+  }
   return true;
 }
 

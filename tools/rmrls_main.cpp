@@ -54,6 +54,13 @@ void help(const char* argv0, std::ostream& os) {
         "  --cbudget N        non-reducing substitutions per path (-1 ="
         " auto)\n"
         "  --restart N        restart interval in expansions (0 = off)\n"
+        "  --threads N        parallel search workers (default 1 ="
+        " sequential\n"
+        "                     engine, bit-reproducible; 0 = one per"
+        " hardware\n"
+        "                     thread); see docs/parallelism.md\n"
+        "  --tt-shards N      shards of the shared transposition table\n"
+        "                     (parallel engine only, default 16)\n"
         "  --tt / --no-tt     transposition table on/off\n"
         "  --cumul / --stage-elim\n"
         "                     cumulative vs per-stage elimination priority\n"
@@ -193,6 +200,12 @@ int main(int argc, char** argv) {
                               : SynthesisOptions::ExemptScope::kComplement;
     } else if (arg == "--restart") {
       options.restart_interval = num_ull(arg, next());
+    } else if (arg == "--threads") {
+      options.num_threads = static_cast<int>(num_ll(arg, next()));
+      if (options.num_threads < 0) bad_number(arg, std::to_string(options.num_threads));
+    } else if (arg == "--tt-shards") {
+      options.tt_shards = static_cast<int>(num_ll(arg, next()));
+      if (options.tt_shards < 1) bad_number(arg, std::to_string(options.tt_shards));
     } else if (arg == "--first") {
       options.stop_at_first_solution = true;
     } else if (arg == "--no-extra") {
