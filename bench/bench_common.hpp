@@ -32,6 +32,15 @@ struct BenchArgs {
   std::uint64_t seed = 20040216;
   std::string json_out;  // empty = no JSONL metrics
   int threads = 1;       // search workers (docs/parallelism.md)
+  /// Dense-kernel width cap (docs/dense_pprm.md): -1 = keep the library
+  /// default, 0 = force sparse, N > 0 = dense up to N variables.
+  int dense_threshold = -1;
+
+  /// Copies the flags that map one-to-one onto SynthesisOptions fields.
+  void apply(SynthesisOptions& options) const {
+    options.num_threads = threads;
+    if (dense_threshold >= 0) options.dense_threshold = dense_threshold;
+  }
 
   static void print_help(std::ostream& os) {
     os << "options:\n"
@@ -43,6 +52,9 @@ struct BenchArgs {
           " synthesized function\n"
           "  --threads N     parallel search workers (1 = sequential,\n"
           "                  0 = one per hardware thread)\n"
+          "  --dense-threshold N\n"
+          "                  widest system run on the dense spectrum kernel\n"
+          "                  (-1 = library default, 0 = always sparse)\n"
           "  --help          this text\n";
   }
 
@@ -84,6 +96,8 @@ struct BenchArgs {
         a.json_out = next();
       } else if (arg == "--threads") {
         a.threads = static_cast<int>(next_u64());
+      } else if (arg == "--dense-threshold") {
+        a.dense_threshold = static_cast<int>(next_u64());
       } else if (arg == "--help" || arg == "-h") {
         print_help(std::cout);
         std::exit(0);

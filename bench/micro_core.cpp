@@ -6,14 +6,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <random>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "baselines/transformation_based.hpp"
 #include "core/factor_enum.hpp"
 #include "core/synthesizer.hpp"
+#include "obs/json.hpp"
 #include "obs/trace.hpp"
 #include "rev/pprm_transform.hpp"
 #include "rev/random.hpp"
@@ -77,6 +81,49 @@ void BM_SubstituteIntoPooled(benchmark::State& state) {
 }
 BENCHMARK(BM_SubstituteIntoPooled)->Arg(3)->Arg(5)->Arg(8);
 
+// Word-parallel dense counterparts (rev/pprm_dense.hpp, same spec and
+// factor as the sparse pair above, so each sparse/dense pair reads as a
+// direct comparison). These back the dense-kernel claims in
+// docs/dense_pprm.md and EXPERIMENTS.md.
+void BM_DenseSubstituteIntoPooled(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::mt19937_64 rng(3);
+  const DensePprm base(
+      pprm_of_truth_table(random_reversible_function(n, rng)));
+  const Cube factor = cube_of_var(1) | cube_of_var(2);
+  DensePprmPool pool;
+  for (auto _ : state) {
+    DensePprm dst = pool.acquire();
+    base.substitute_into(0, factor, dst);
+    benchmark::DoNotOptimize(dst);
+    pool.release(std::move(dst));
+  }
+}
+BENCHMARK(BM_DenseSubstituteIntoPooled)->Arg(3)->Arg(5)->Arg(8);
+
+void BM_SubstituteDelta(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::mt19937_64 rng(3);
+  const Pprm base = pprm_of_truth_table(random_reversible_function(n, rng));
+  const Cube factor = cube_of_var(1) | cube_of_var(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(base.substitute_delta(0, factor));
+  }
+}
+BENCHMARK(BM_SubstituteDelta)->Arg(3)->Arg(5)->Arg(8);
+
+void BM_DenseSubstituteDelta(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::mt19937_64 rng(3);
+  const DensePprm base(
+      pprm_of_truth_table(random_reversible_function(n, rng)));
+  const Cube factor = cube_of_var(1) | cube_of_var(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(base.substitute_delta(0, factor));
+  }
+}
+BENCHMARK(BM_DenseSubstituteDelta)->Arg(3)->Arg(5)->Arg(8);
+
 void BM_PprmHash(benchmark::State& state) {
   std::mt19937_64 rng(4);
   const Pprm p = pprm_of_truth_table(random_reversible_function(6, rng));
@@ -106,6 +153,11 @@ void BM_CircuitSimulate(benchmark::State& state) {
 }
 BENCHMARK(BM_CircuitSimulate);
 
+// End-to-end synthesis of the paper's Fig. 1 example. The default options
+// run the adaptive dense kernel (dense_threshold = 14 covers n = 3); the
+// *Sparse variant pins the pre-existing cube-vector engine, so the pair
+// measures the dense kernel's end-to-end speedup on an identical search
+// tree (both produce the same circuit; see docs/dense_pprm.md).
 void BM_SynthesizeFig1(benchmark::State& state) {
   const Pprm spec =
       pprm_of_truth_table(TruthTable({1, 0, 7, 2, 3, 4, 5, 6}));
@@ -117,6 +169,18 @@ void BM_SynthesizeFig1(benchmark::State& state) {
 }
 BENCHMARK(BM_SynthesizeFig1);
 
+void BM_SynthesizeFig1Sparse(benchmark::State& state) {
+  const Pprm spec =
+      pprm_of_truth_table(TruthTable({1, 0, 7, 2, 3, 4, 5, 6}));
+  SynthesisOptions o;
+  o.max_nodes = 20000;
+  o.dense_threshold = 0;  // force the sparse engine
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synthesize(spec, o));
+  }
+}
+BENCHMARK(BM_SynthesizeFig1Sparse);
+
 void BM_Synthesize3Var(benchmark::State& state) {
   std::mt19937_64 rng(7);
   const Pprm spec = pprm_of_truth_table(random_reversible_function(3, rng));
@@ -127,6 +191,34 @@ void BM_Synthesize3Var(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Synthesize3Var);
+
+// Five variables is where substitution dominates the search (the sparse
+// kernel's sort-and-merge grows with the term count while heap and
+// enumeration overheads do not), so this pair shows the dense kernel's
+// end-to-end effect unmasked by Amdahl's law; the budget bounds the run,
+// both engines expand the same 2000 nodes.
+void BM_Synthesize5Var(benchmark::State& state) {
+  std::mt19937_64 rng(9);
+  const Pprm spec = pprm_of_truth_table(random_reversible_function(5, rng));
+  SynthesisOptions o;
+  o.max_nodes = 2000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synthesize(spec, o));
+  }
+}
+BENCHMARK(BM_Synthesize5Var);
+
+void BM_Synthesize5VarSparse(benchmark::State& state) {
+  std::mt19937_64 rng(9);
+  const Pprm spec = pprm_of_truth_table(random_reversible_function(5, rng));
+  SynthesisOptions o;
+  o.max_nodes = 2000;
+  o.dense_threshold = 0;  // force the sparse engine
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synthesize(spec, o));
+  }
+}
+BENCHMARK(BM_Synthesize5VarSparse);
 
 // Observability overhead guards. With `trace_sink == nullptr` (the
 // default, as in BM_Synthesize3Var/BM_SynthesizeFig1 above) every emission
@@ -203,15 +295,92 @@ void BM_TransformationBased(benchmark::State& state) {
 }
 BENCHMARK(BM_TransformationBased)->Arg(3)->Arg(6)->Arg(8);
 
+/// One benchmark's name -> real_time (ns) from a google-benchmark JSON
+/// report. Aggregate rows (mean/median/stddev repetitions) are skipped.
+std::vector<std::pair<std::string, double>> read_report(
+    const std::string& path) {
+  std::vector<std::pair<std::string, double>> out;
+  std::ifstream in(path);
+  if (!in) return out;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto parsed = rmrls::json_parse(buf.str());
+  if (!parsed || !parsed->is_object()) return out;
+  const rmrls::JsonValue* benches = parsed->find("benchmarks");
+  if (benches == nullptr ||
+      benches->type != rmrls::JsonValue::Type::kArray) {
+    return out;
+  }
+  for (const rmrls::JsonValue& b : benches->array) {
+    if (!b.is_object()) continue;
+    const rmrls::JsonValue* name = b.find("name");
+    const rmrls::JsonValue* rt = b.find("real_time");
+    const rmrls::JsonValue* run_type = b.find("run_type");
+    if (name == nullptr || !name->is_string() || rt == nullptr ||
+        !rt->is_number()) {
+      continue;
+    }
+    if (run_type != nullptr && run_type->is_string() &&
+        run_type->string != "iteration") {
+      continue;
+    }
+    out.emplace_back(name->string, rt->number);
+  }
+  return out;
+}
+
+/// Prints per-benchmark real_time deltas of this run against a committed
+/// baseline report (bench/BENCH_seed.json by default when --json is
+/// given). Positive speedup = this run is faster.
+void print_baseline_delta(const std::string& current_path,
+                          const std::string& baseline_path) {
+  const auto baseline = read_report(baseline_path);
+  const auto current = read_report(current_path);
+  if (baseline.empty()) {
+    std::cerr << "note: no baseline records in " << baseline_path
+              << "; skipping delta report\n";
+    return;
+  }
+  if (current.empty()) {
+    std::cerr << "note: no current records in " << current_path
+              << "; skipping delta report\n";
+    return;
+  }
+  std::cout << "\n=== delta vs baseline " << baseline_path << " ===\n";
+  std::printf("%-40s %12s %12s %9s\n", "benchmark", "baseline_ns",
+              "current_ns", "speedup");
+  for (const auto& [name, now_ns] : current) {
+    double base_ns = -1.0;
+    for (const auto& [bname, bns] : baseline) {
+      if (bname == name) {
+        base_ns = bns;
+        break;
+      }
+    }
+    if (base_ns < 0) {
+      std::printf("%-40s %12s %12.0f %9s\n", name.c_str(), "-", now_ns,
+                  "new");
+    } else if (now_ns > 0) {
+      std::printf("%-40s %12.0f %12.0f %8.2fx\n", name.c_str(), base_ns,
+                  now_ns, base_ns / now_ns);
+    }
+  }
+}
+
 }  // namespace
 
 // Custom main instead of BENCHMARK_MAIN(): `--json FILE` is translated to
 // google-benchmark's --benchmark_out flags, so this harness shares the
 // --json spelling of every other binary in bench/. The committed baseline
-// bench/BENCH_seed.json is regenerated with `micro_core --json ...`.
+// bench/BENCH_seed.json is regenerated with `micro_core --json ...`;
+// after a --json run the harness prints each benchmark's real_time delta
+// against `--baseline FILE` (default bench/BENCH_seed.json, resolved
+// relative to the working directory; missing baseline = note, not error).
 int main(int argc, char** argv) {
   std::vector<std::string> args;
   args.reserve(static_cast<std::size_t>(argc) + 1);
+  std::string json_out;
+  std::string baseline = "bench/BENCH_seed.json";
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
@@ -219,8 +388,15 @@ int main(int argc, char** argv) {
         std::cerr << "missing value for --json\n";
         return 2;
       }
-      args.push_back(std::string("--benchmark_out=") + argv[++i]);
+      json_out = argv[++i];
+      args.push_back("--benchmark_out=" + json_out);
       args.push_back("--benchmark_out_format=json");
+    } else if (arg == "--baseline") {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for --baseline\n";
+        return 2;
+      }
+      baseline = argv[++i];
     } else {
       args.push_back(arg);
     }
@@ -232,6 +408,9 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&count, argp.data());
   if (benchmark::ReportUnrecognizedArguments(count, argp.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
+  // RunSpecifiedBenchmarks closes its report stream on return, so the
+  // file is complete and readable here.
+  if (!json_out.empty()) print_baseline_delta(json_out, baseline);
   benchmark::Shutdown();
   return 0;
 }

@@ -1,5 +1,7 @@
 #include "core/factor_enum.hpp"
 
+#include <bit>
+
 namespace rmrls {
 
 void enumerate_candidates_into(const Pprm& p, const SynthesisOptions& options,
@@ -20,6 +22,46 @@ void enumerate_candidates_into(const Pprm& p, const SynthesisOptions& options,
         if (skip != nullptr && cand == *skip) continue;
         out.push_back(cand);
         offered_const |= (c == kConstOne);
+      }
+    }
+    if (options.allow_complement && !offered_const) {
+      Candidate cand{t, kConstOne};
+      cand.additional = true;
+      if (skip == nullptr || !(cand == *skip)) out.push_back(cand);
+    }
+  }
+}
+
+void enumerate_candidates_into(const DensePprm& p,
+                               const SynthesisOptions& options,
+                               const Candidate* skip,
+                               std::vector<Candidate>& out) {
+  out.clear();
+  const int n = p.num_vars();
+  const std::size_t words = p.words_per_output();
+  for (int t = 0; t < n; ++t) {
+    const std::uint64_t* bits = p.output_bits(t);
+    const Cube bit = cube_of_var(t);
+    const bool has_solitary = p.output_contains(t, bit);
+    bool offered_const = false;
+    if (has_solitary || options.allow_relaxed_targets) {
+      for (std::size_t w = 0; w < words; ++w) {
+        // The target cannot also be a control: mask out (t < 6) or skip
+        // (t >= 6) the half of the spectrum whose cubes contain v_t.
+        if (t >= 6 && ((w >> (t - 6)) & 1u) != 0) continue;
+        std::uint64_t word = bits[w];
+        if (t < 6) word &= ~kDenseVarMask[t];
+        const std::uint64_t base = static_cast<std::uint64_t>(w) << 6;
+        while (word != 0) {
+          const Cube c =
+              base + static_cast<unsigned>(std::countr_zero(word));
+          word &= word - 1;
+          Candidate cand{t, c};
+          cand.additional = !has_solitary || c == kConstOne;
+          if (skip != nullptr && cand == *skip) continue;
+          out.push_back(cand);
+          offered_const |= (c == kConstOne);
+        }
       }
     }
     if (options.allow_complement && !offered_const) {

@@ -15,6 +15,7 @@
 #include "core/options.hpp"
 #include "rev/gate.hpp"
 #include "rev/pprm.hpp"
+#include "rev/pprm_dense.hpp"
 
 namespace rmrls {
 
@@ -49,6 +50,16 @@ struct Candidate {
 /// buffer across every expansion, so the hottest enumeration loop stops
 /// allocating after warmup.
 void enumerate_candidates_into(const Pprm& p, const SynthesisOptions& options,
+                               const Candidate* skip,
+                               std::vector<Candidate>& out);
+
+/// Dense-kernel counterpart: iterates the set bits of each output's
+/// coefficient bitset in ascending index order — exactly the sorted cube
+/// order of the sparse overload, so the two engines see identical
+/// candidate sequences (tie-breaking, greedy pruning and seq numbering
+/// all depend on it).
+void enumerate_candidates_into(const DensePprm& p,
+                               const SynthesisOptions& options,
                                const Candidate* skip,
                                std::vector<Candidate>& out);
 

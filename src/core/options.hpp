@@ -133,6 +133,18 @@ struct SynthesisOptions {
   /// counts are reported in SynthesisStats::tt_shard_hits.
   int tt_shards = 16;
 
+  /// Widest system (in variables) the engine may run on the dense
+  /// word-parallel PPRM kernel (rev/pprm_dense.hpp, docs/dense_pprm.md).
+  /// At or below this width — and when the spectrum is dense enough for
+  /// word passes to beat walking sorted cubes — each search pass stores
+  /// states as 2^n-bit coefficient bitsets and substitutes with
+  /// shift/mask/XOR passes instead of cube merges; circuits are
+  /// bit-identical to the sparse engine's by construction (same candidate
+  /// order, deltas, and state hashes). 0 forces the sparse representation
+  /// everywhere. Parallel workers inherit the pass's kernel choice
+  /// (docs/parallelism.md).
+  int dense_threshold = 14;
+
   /// Our extension (ablated in bench/ablation): after a circuit of size D
   /// is found, restart the whole search with max_gates = D - 1 on the
   /// remaining node budget, repeating until a search fails. The tighter cap
@@ -198,6 +210,14 @@ struct SynthesisStats {
   /// engine only; empty for sequential runs, where every duplicate is in
   /// pruned_duplicate). Summed element-wise when runs accumulate.
   std::vector<std::uint64_t> tt_shard_hits;
+  /// True if any search pass of this run used the dense word-parallel
+  /// PPRM kernel (SynthesisOptions::dense_threshold).
+  bool dense_kernel = false;
+  /// Times the representation changed between merged search passes (e.g.
+  /// forward/backward bidirectional specs landing on opposite sides of
+  /// the density rule). Normally 0: the kernel choice is a function of
+  /// the spec, and one spec keeps it across refinement reruns.
+  std::uint64_t representation_switches = 0;
   std::chrono::microseconds elapsed{0};
 };
 
@@ -220,6 +240,11 @@ inline void accumulate_stats(SynthesisStats& into, const SynthesisStats& from) {
   into.restarts += from.restarts;
   into.solutions_found += from.solutions_found;
   if (from.workers > into.workers) into.workers = from.workers;
+  // A kernel disagreement between the merged runs is a representation
+  // switch; dense_kernel then means "any pass ran dense".
+  into.representation_switches += from.representation_switches;
+  if (into.dense_kernel != from.dense_kernel) ++into.representation_switches;
+  into.dense_kernel |= from.dense_kernel;
   if (!from.tt_shard_hits.empty()) {
     if (into.tt_shard_hits.size() < from.tt_shard_hits.size()) {
       into.tt_shard_hits.resize(from.tt_shard_hits.size(), 0);

@@ -39,16 +39,18 @@ std::chrono::microseconds wall_since(Clock::time_point start) {
                                                                start);
 }
 
-}  // namespace
-
-SynthesisResult run_parallel_search(const Pprm& start,
-                                    const SynthesisOptions& options) {
+/// The engine, generic over the state representation (sparse Pprm or
+/// dense DensePprm). Every worker of one pass runs the same
+/// representation; see parallel.hpp.
+template <class Rep>
+SynthesisResult run_parallel_impl(const Rep& start,
+                                  const SynthesisOptions& options) {
   const auto wall_start = Clock::now();
   const int requested = resolve_threads(options.num_threads);
 
   // Phase 1: expand the root sequentially and harvest the first-level
   // subtrees (sorted by descending priority).
-  RootExpansion root = Search::expand_root(start, options);
+  BasicRootExpansion<Rep> root = BasicSearch<Rep>::expand_root(start, options);
   SynthesisResult result;
   result.initial_terms = start.term_count();
   result.stats = root.stats;
@@ -97,10 +99,10 @@ SynthesisResult run_parallel_search(const Pprm& start,
   // The root expansion enqueued these states through its (discarded) local
   // table; re-seed the shared one so no worker can re-reach a peer's seed
   // through a different path.
-  for (const RootSeed& seed : root.seeds) {
-    shared.seen.check_and_insert(seed.pprm.hash(), 1);
+  for (const BasicRootSeed<Rep>& seed : root.seeds) {
+    shared.seen.check_and_insert(seed.state.hash(), 1);
   }
-  std::vector<std::vector<RootSeed>> partitions(
+  std::vector<std::vector<BasicRootSeed<Rep>>> partitions(
       static_cast<std::size_t>(num_workers));
   for (std::size_t i = 0; i < root.seeds.size(); ++i) {
     partitions[i % static_cast<std::size_t>(num_workers)].push_back(
@@ -125,9 +127,9 @@ SynthesisResult run_parallel_search(const Pprm& start,
       wopts.phase_profile = options.phase_profile != nullptr
                                 ? &profiles[static_cast<std::size_t>(w)]
                                 : nullptr;
-      Search search(start, wopts,
-                    std::move(partitions[static_cast<std::size_t>(w)]),
-                    &shared);
+      BasicSearch<Rep> search(start, wopts,
+                              std::move(partitions[static_cast<std::size_t>(w)]),
+                              &shared);
       worker_results[static_cast<std::size_t>(w)] = search.run();
     });
   }
@@ -165,6 +167,18 @@ SynthesisResult run_parallel_search(const Pprm& start,
   result.stats.tt_shard_hits = shared.seen.hit_counts();
   result.stats.elapsed = wall_since(wall_start);  // wall clock, not CPU sum
   return result;
+}
+
+}  // namespace
+
+SynthesisResult run_parallel_search(const Pprm& start,
+                                    const SynthesisOptions& options) {
+  return run_parallel_impl(start, options);
+}
+
+SynthesisResult run_parallel_search(const DensePprm& start,
+                                    const SynthesisOptions& options) {
+  return run_parallel_impl(start, options);
 }
 
 }  // namespace rmrls

@@ -156,4 +156,14 @@ struct SharedSearchContext {
 [[nodiscard]] SynthesisResult run_parallel_search(
     const Pprm& start, const SynthesisOptions& options);
 
+/// Dense-kernel overload: identical engine over DensePprm states. The
+/// kernel choice is made once per pass by the synthesizer and inherited by
+/// every worker — the shared transposition table is keyed by the
+/// representation-independent state hash, but mixing representations
+/// within one pass would still duplicate per-worker pools for no benefit
+/// (docs/parallelism.md).
+class DensePprm;
+[[nodiscard]] SynthesisResult run_parallel_search(
+    const DensePprm& start, const SynthesisOptions& options);
+
 }  // namespace rmrls

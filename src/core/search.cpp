@@ -12,7 +12,8 @@ namespace {
 using Clock = std::chrono::steady_clock;
 }
 
-Search::Search(Pprm start, SynthesisOptions options)
+template <class Rep>
+BasicSearch<Rep>::BasicSearch(Rep start, SynthesisOptions options)
     : start_(std::move(start)),
       options_(options),
       num_vars_(start_.num_vars()),
@@ -20,9 +21,10 @@ Search::Search(Pprm start, SynthesisOptions options)
       sink_(options.trace_sink),
       profile_(options.phase_profile) {}
 
-Search::Search(Pprm start, SynthesisOptions options,
-               std::vector<RootSeed> seeds,
-               detail::SharedSearchContext* shared)
+template <class Rep>
+BasicSearch<Rep>::BasicSearch(Rep start, SynthesisOptions options,
+                              std::vector<BasicRootSeed<Rep>> seeds,
+                              detail::SharedSearchContext* shared)
     : start_(std::move(start)),
       options_(options),
       num_vars_(start_.num_vars()),
@@ -32,16 +34,19 @@ Search::Search(Pprm start, SynthesisOptions options,
       sink_(options.trace_sink),
       profile_(options.phase_profile) {}
 
-int Search::bound() const {
+template <class Rep>
+int BasicSearch<Rep>::bound() const {
   if (shared_ == nullptr) return best_depth_;
   return shared_->bound.get();
 }
 
-void Search::push_entry(QueueEntry entry) {
+template <class Rep>
+void BasicSearch<Rep>::push_entry(QueueEntry entry) {
   if (push_uncounted(std::move(entry))) ++stats_.children_pushed;
 }
 
-bool Search::push_uncounted(QueueEntry entry) {
+template <class Rep>
+bool BasicSearch<Rep>::push_uncounted(QueueEntry entry) {
   if (heap_.size() >= options_.max_queue) {
     ++stats_.dropped_queue_full;
     if (sink_) {
@@ -51,7 +56,7 @@ bool Search::push_uncounted(QueueEntry entry) {
       e.terms = entry.terms;
       emit(e);
     }
-    pool_.release(std::move(entry.pprm));
+    pool_.release(std::move(entry.state));
     return false;
   }
   const ScopedPhaseTimer timer(profile_, Phase::kHeapOps);
@@ -60,7 +65,8 @@ bool Search::push_uncounted(QueueEntry entry) {
   return true;
 }
 
-Search::QueueEntry Search::pop_entry() {
+template <class Rep>
+typename BasicSearch<Rep>::QueueEntry BasicSearch<Rep>::pop_entry() {
   const ScopedPhaseTimer timer(profile_, Phase::kHeapOps);
   std::pop_heap(heap_.begin(), heap_.end(), EntryLess{});
   QueueEntry e = std::move(heap_.back());
@@ -68,8 +74,9 @@ Search::QueueEntry Search::pop_entry() {
   return e;
 }
 
-double Search::priority_of(int depth, int elim_stage, int elim_total,
-                           Cube factor) const {
+template <class Rep>
+double BasicSearch<Rep>::priority_of(int depth, int elim_stage, int elim_total,
+                                     Cube factor) const {
   const double elim = options_.cumulative_elim_priority
                           ? static_cast<double>(elim_total)
                           : static_cast<double>(elim_stage);
@@ -77,7 +84,8 @@ double Search::priority_of(int depth, int elim_stage, int elim_total,
          options_.gamma * literal_count(factor);
 }
 
-Circuit Search::extract_circuit(std::int32_t leaf) const {
+template <class Rep>
+Circuit BasicSearch<Rep>::extract_circuit(std::int32_t leaf) const {
   // The path root -> leaf lists the substitutions in application order,
   // which is also gate order: the first substitution is the first gate.
   std::vector<Gate> reversed;
@@ -91,8 +99,10 @@ Circuit Search::extract_circuit(std::int32_t leaf) const {
   return c;
 }
 
-bool Search::record_solution(std::int32_t parent, const Gate& gate,
-                             int child_depth, std::uint8_t exempt_count) {
+template <class Rep>
+bool BasicSearch<Rep>::record_solution(std::int32_t parent, const Gate& gate,
+                                       int child_depth,
+                                       std::uint8_t exempt_count) {
   // In shared mode only the worker that wins the atomic bound race records
   // the circuit — a loser's solution is at/beyond a depth some peer
   // already realized.
@@ -114,14 +124,15 @@ bool Search::record_solution(std::int32_t parent, const Gate& gate,
   return true;
 }
 
-bool Search::expand(QueueEntry entry) {
+template <class Rep>
+bool BasicSearch<Rep>::expand(QueueEntry entry) {
   // Copy out of the arena: expand() appends to it, invalidating references.
   const NodeRecord node = arena_[entry.node];
   const Candidate skip{node.gate.target, node.gate.controls};
   const bool is_root = node.parent < 0;
   {
     const ScopedPhaseTimer timer(profile_, Phase::kFactorEnum);
-    enumerate_candidates_into(entry.pprm, options_,
+    enumerate_candidates_into(entry.state, options_,
                               is_root ? nullptr : &skip, candidates_buf_);
   }
   const std::vector<Candidate>& candidates = candidates_buf_;
@@ -143,7 +154,7 @@ bool Search::expand(QueueEntry entry) {
     for (const Candidate& cand : candidates) {
       ChildEval ce;
       ce.cand = cand;
-      const int delta = entry.pprm.substitute_delta(cand.target, cand.factor);
+      const int delta = entry.state.substitute_delta(cand.target, cand.factor);
       ce.terms = entry.terms + delta;
       ce.elim = -delta;
       ce.priority = priority_of(child_depth, ce.elim,
@@ -151,8 +162,8 @@ bool Search::expand(QueueEntry entry) {
       if (ce.terms == num_vars_) {
         // Only a system with exactly one term per output can be the
         // identity; confirm by materializing (into a pooled system).
-        Pprm materialized = pool_.acquire();
-        entry.pprm.substitute_into(cand.target, cand.factor, materialized);
+        Rep materialized = pool_.acquire();
+        entry.state.substitute_into(cand.target, cand.factor, materialized);
         ce.solved = materialized.is_identity();
         pool_.release(std::move(materialized));
       }
@@ -173,7 +184,7 @@ bool Search::expand(QueueEntry entry) {
           shared_->stop.store(true, std::memory_order_release);
         }
         termination_ = TerminationReason::kSolved;
-        pool_.release(std::move(entry.pprm));
+        pool_.release(std::move(entry.state));
         return true;
       }
     } else {
@@ -256,11 +267,11 @@ bool Search::expand(QueueEntry entry) {
     }
     // Materialize only now, into a pooled system: everything pruned above
     // never paid for a copy, and nothing here pays for an allocation.
-    Pprm materialized = pool_.acquire();
+    Rep materialized = pool_.acquire();
     {
       const ScopedPhaseTimer timer(profile_, Phase::kSubstitute);
-      entry.pprm.substitute_into(ce.cand.target, ce.cand.factor,
-                                 materialized);
+      entry.state.substitute_into(ce.cand.target, ce.cand.factor,
+                                  materialized);
     }
     if (options_.use_transposition_table) {
       const std::size_t state_hash = materialized.hash();
@@ -294,18 +305,19 @@ bool Search::expand(QueueEntry entry) {
     child.seq = next_seq_++;
     child.node = static_cast<std::int32_t>(arena_.size()) - 1;
     child.terms = ce.terms;
-    child.pprm = std::move(materialized);
+    child.state = std::move(materialized);
     if (is_root) root_children_.push_back(child);  // copy kept for restarts
     push_entry(std::move(child));
   }
-  pool_.release(std::move(entry.pprm));
+  pool_.release(std::move(entry.state));
   return false;
 }
 
-void Search::restart() {
+template <class Rep>
+void BasicSearch<Rep>::restart() {
   ++stats_.restarts;
   pops_since_improvement_ = 0;
-  for (QueueEntry& e : heap_) pool_.release(std::move(e.pprm));
+  for (QueueEntry& e : heap_) pool_.release(std::move(e.state));
   heap_.clear();
   ++restart_index_;
   {
@@ -337,16 +349,17 @@ void Search::restart() {
   }
 }
 
-RootExpansion Search::expand_root(const Pprm& start,
-                                  const SynthesisOptions& options) {
+template <class Rep>
+BasicRootExpansion<Rep> BasicSearch<Rep>::expand_root(
+    const Rep& start, const SynthesisOptions& options) {
   // One pop (the root) through the regular engine, then harvest: the
   // sequential and parallel engines price, prune and count first-level
   // children identically by construction.
   SynthesisOptions root_options = options;
   root_options.max_nodes = 1;
-  Search search(start, root_options);
+  BasicSearch<Rep> search(start, root_options);
   const SynthesisResult r = search.run();
-  RootExpansion root;
+  BasicRootExpansion<Rep> root;
   root.stats = r.stats;
   if (start.is_identity()) {
     root.identity = true;
@@ -359,23 +372,24 @@ RootExpansion Search::expand_root(const Pprm& start,
   root.seeds.reserve(search.root_children_.size());
   for (QueueEntry& e : search.root_children_) {
     const NodeRecord& node = search.arena_[e.node];
-    RootSeed seed;
+    BasicRootSeed<Rep> seed;
     seed.gate = node.gate;
     seed.priority = e.priority;
     seed.terms = e.terms;
     seed.exempt_count = node.exempt_count;
     seed.exempt = node.exempt;
-    seed.pprm = std::move(e.pprm);
+    seed.state = std::move(e.state);
     root.seeds.push_back(std::move(seed));
   }
   std::stable_sort(root.seeds.begin(), root.seeds.end(),
-                   [](const RootSeed& a, const RootSeed& b) {
+                   [](const BasicRootSeed<Rep>& a, const BasicRootSeed<Rep>& b) {
                      return a.priority > b.priority;
                    });
   return root;
 }
 
-SynthesisResult Search::run() {
+template <class Rep>
+SynthesisResult BasicSearch<Rep>::run() {
   SynthesisResult result;
   result.initial_terms = initial_terms_;
   run_start_ = Clock::now();
@@ -411,7 +425,7 @@ SynthesisResult Search::run() {
     root.seq = next_seq_++;
     root.node = 0;
     root.terms = initial_terms_;
-    root.pprm = start_;
+    root.state = start_;
     push_uncounted(std::move(root));  // the root is not a child
   } else {
     // Worker mode: adopt the pre-expanded first-level subtrees. They were
@@ -419,14 +433,14 @@ SynthesisResult Search::run() {
     // and they arrive sorted by descending priority, so the restart
     // heuristic indexes into them directly.
     root_children_.reserve(seeds_.size());
-    for (RootSeed& seed : seeds_) {
+    for (BasicRootSeed<Rep>& seed : seeds_) {
       arena_.push_back({0, seed.gate, 1, seed.exempt_count, seed.exempt});
       QueueEntry e;
       e.priority = seed.priority;
       e.seq = next_seq_++;
       e.node = static_cast<std::int32_t>(arena_.size()) - 1;
       e.terms = seed.terms;
-      e.pprm = std::move(seed.pprm);
+      e.state = std::move(seed.state);
       root_children_.push_back(e);  // copy kept for restarts
       push_uncounted(std::move(e));
     }
@@ -485,13 +499,13 @@ SynthesisResult Search::run() {
     if (bd >= 0 && depth >= bd - 1) {
       ++stats_.pruned_stale;
       emit_prune(PruneReason::kStale, depth, entry.terms);
-      pool_.release(std::move(entry.pprm));
+      pool_.release(std::move(entry.state));
       continue;
     }
     if (options_.max_gates > 0 && depth >= options_.max_gates) {
       ++stats_.pruned_stale;
       emit_prune(PruneReason::kStale, depth, entry.terms);
-      pool_.release(std::move(entry.pprm));
+      pool_.release(std::move(entry.state));
       continue;
     }
     if (expand(std::move(entry))) break;  // stop-at-first fired
@@ -515,5 +529,8 @@ SynthesisResult Search::run() {
   }
   return result;
 }
+
+template class BasicSearch<Pprm>;
+template class BasicSearch<DensePprm>;
 
 }  // namespace rmrls

@@ -6,6 +6,15 @@
 /// whose system is the identity. Per Section IV-C, expansions are stored
 /// only with frontier (queued) entries; the node arena keeps just
 /// {parent, gate, depth} so solution paths can be reconstructed cheaply.
+///
+/// The engine is templated over the state representation `Rep` — the
+/// sparse cube-vector Pprm or the dense bitset DensePprm
+/// (rev/pprm_dense.hpp, docs/dense_pprm.md). Both expose the same
+/// substitution/pricing/hash contract, candidates enumerate in the same
+/// order, and state hashes agree, so the two instantiations expand
+/// identical trees and emit bit-identical circuits; the synthesizer picks
+/// per pass via SynthesisOptions::dense_threshold. `Search` is the sparse
+/// instantiation, `DenseSearch` the dense one.
 
 #pragma once
 
@@ -19,6 +28,7 @@
 #include "obs/trace.hpp"
 #include "rev/circuit.hpp"
 #include "rev/pprm.hpp"
+#include "rev/pprm_dense.hpp"
 
 namespace rmrls {
 
@@ -41,28 +51,38 @@ struct SynthesisResult {
 /// One first-level subtree of the search: a root child produced by a
 /// single substitution, with everything a parallel worker needs to adopt
 /// it (core/parallel.hpp).
-struct RootSeed {
+template <class Rep>
+struct BasicRootSeed {
   Gate gate;
   double priority = 0.0;
   std::int32_t terms = 0;
   std::uint8_t exempt_count = 0;
   bool exempt = false;
-  Pprm pprm;
+  Rep state;
 };
+
+using RootSeed = BasicRootSeed<Pprm>;
+using DenseRootSeed = BasicRootSeed<DensePprm>;
 
 /// Harvest of expanding only the root (phase 1 of the parallel engine).
-struct RootExpansion {
-  std::vector<RootSeed> seeds;  ///< descending priority (creation order ties)
-  SynthesisStats stats;         ///< counters of the root expansion
-  bool identity = false;        ///< the spec is already the identity
-  bool solved = false;          ///< a one-gate solution was found
-  Gate solution_gate;           ///< valid when `solved`
+template <class Rep>
+struct BasicRootExpansion {
+  /// Descending priority (creation order ties).
+  std::vector<BasicRootSeed<Rep>> seeds;
+  SynthesisStats stats;   ///< counters of the root expansion
+  bool identity = false;  ///< the spec is already the identity
+  bool solved = false;    ///< a one-gate solution was found
+  Gate solution_gate;     ///< valid when `solved`
 };
 
-/// One run of the best-first search. Not reusable; construct per call.
-class Search {
+using RootExpansion = BasicRootExpansion<Pprm>;
+
+/// One run of the best-first search over representation `Rep`. Not
+/// reusable; construct per call.
+template <class Rep>
+class BasicSearch {
  public:
-  Search(Pprm start, SynthesisOptions options);
+  BasicSearch(Rep start, SynthesisOptions options);
 
   /// Worker of the parallel engine: adopts pre-expanded first-level
   /// subtrees instead of expanding the root itself, and coordinates with
@@ -70,14 +90,15 @@ class Search {
   /// transposition table, stop flag). `seeds` must be sorted by
   /// descending priority. With `shared == nullptr` behaves sequentially
   /// over the given subtrees.
-  Search(Pprm start, SynthesisOptions options, std::vector<RootSeed> seeds,
-         detail::SharedSearchContext* shared);
+  BasicSearch(Rep start, SynthesisOptions options,
+              std::vector<BasicRootSeed<Rep>> seeds,
+              detail::SharedSearchContext* shared);
 
   /// Expands only the root and harvests the surviving first-level
   /// subtrees, sorted by descending priority (phase 1 of the parallel
   /// engine; docs/parallelism.md).
-  [[nodiscard]] static RootExpansion expand_root(
-      const Pprm& start, const SynthesisOptions& options);
+  [[nodiscard]] static BasicRootExpansion<Rep> expand_root(
+      const Rep& start, const SynthesisOptions& options);
 
   /// Runs to completion (queue empty, budget exhausted, or first solution
   /// in stop-at-first mode) and returns the best circuit found.
@@ -103,7 +124,7 @@ class Search {
     std::uint64_t seq = 0;  // insertion order; older wins priority ties
     std::int32_t node = -1;
     std::int32_t terms = 0;
-    Pprm pprm;
+    Rep state;
   };
 
   struct EntryLess {
@@ -146,7 +167,7 @@ class Search {
 
   [[nodiscard]] Circuit extract_circuit(std::int32_t leaf) const;
 
-  Pprm start_;
+  Rep start_;
   SynthesisOptions options_;
   int num_vars_ = 0;
   int initial_terms_ = 0;
@@ -154,12 +175,12 @@ class Search {
   /// Parallel-worker coordination (null for the sequential engine).
   detail::SharedSearchContext* shared_ = nullptr;
   /// Worker mode: first-level subtrees adopted instead of a root node.
-  std::vector<RootSeed> seeds_;
+  std::vector<BasicRootSeed<Rep>> seeds_;
 
-  /// Recycles the Pprm of every pruned child and expanded entry; the hot
-  /// path materializes via Pprm::substitute_into into pooled systems and
-  /// stops allocating after warmup.
-  PprmPool pool_;
+  /// Recycles the state of every pruned child and expanded entry; the hot
+  /// path materializes via substitute_into into pooled systems and stops
+  /// allocating after warmup.
+  StatePool<Rep> pool_;
   /// Reused across expansions by enumerate_candidates_into.
   std::vector<Candidate> candidates_buf_;
 
@@ -175,9 +196,10 @@ class Search {
   std::int32_t best_node_ = -1;
   int best_depth_ = -1;
 
-  /// Transposition table: best depth at which each PPRM hash was enqueued.
-  /// A state reached again at the same or a larger depth is redundant, but
-  /// a shallower rediscovery must be re-expanded or optimality suffers.
+  /// Transposition table: best depth at which each state hash was
+  /// enqueued. A state reached again at the same or a larger depth is
+  /// redundant, but a shallower rediscovery must be re-expanded or
+  /// optimality suffers.
   std::unordered_map<std::size_t, std::int32_t> seen_;
 
   SynthesisStats stats_;
@@ -217,5 +239,13 @@ class Search {
     emit(e, /*sampled=*/true);
   }
 };
+
+/// The sparse engine (cube vectors) — the pre-existing name.
+using Search = BasicSearch<Pprm>;
+/// The dense word-parallel engine (coefficient bitsets).
+using DenseSearch = BasicSearch<DensePprm>;
+
+extern template class BasicSearch<Pprm>;
+extern template class BasicSearch<DensePprm>;
 
 }  // namespace rmrls

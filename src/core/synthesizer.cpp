@@ -13,9 +13,38 @@ namespace rmrls {
 
 namespace {
 
+/// Adaptive kernel selection (docs/dense_pprm.md): the dense bitset
+/// representation wins while its 2^n-bit spectra stay cache-resident and
+/// reasonably populated, the sparse cube vectors win when the spectrum is
+/// a sea of zero words. `dense_threshold` caps the width (0 forces
+/// sparse); under the cap, narrow systems (n <= 8, spectra of at most four
+/// words) always go dense, wider ones only when the spec populates on
+/// average at least one term per word of every output's bitset.
+bool pick_dense(const Pprm& spec, const SynthesisOptions& options) {
+  const int n = spec.num_vars();
+  if (options.dense_threshold <= 0 || n > options.dense_threshold) {
+    return false;
+  }
+  if (n > kMaxDenseVariables) return false;
+  if (n <= 8) return true;
+  return spec.term_count() >=
+         static_cast<int>(static_cast<std::uint64_t>(n) << (n - 6));
+}
+
 /// One search pass: the sequential engine for num_threads == 1 (exact
-/// pre-existing behavior), the parallel engine otherwise.
+/// pre-existing behavior), the parallel engine otherwise. Each pass
+/// independently picks the kernel for its representation of the spec —
+/// both engines expand the same tree and emit the same circuit, so the
+/// choice only affects throughput (and the dense_kernel stats flag).
 SynthesisResult run_search(const Pprm& spec, const SynthesisOptions& options) {
+  if (pick_dense(spec, options)) {
+    const DensePprm dense(spec);
+    SynthesisResult r = options.num_threads == 1
+                            ? DenseSearch(dense, options).run()
+                            : run_parallel_search(dense, options);
+    r.stats.dense_kernel = true;
+    return r;
+  }
   if (options.num_threads == 1) return Search(spec, options).run();
   return run_parallel_search(spec, options);
 }

@@ -13,6 +13,7 @@ const std::vector<std::string>& metrics_required_keys() {
       "schema",        "success",     "termination", "nodes_expanded",
       "children_created", "children_pushed", "solutions_found",
       "elapsed_us",    "gates",       "quantum_cost", "workers",
+      "dense_kernel",  "representation_switches",
   };
   return keys;
 }
@@ -63,6 +64,8 @@ MetricsRegistry& MetricsRegistry::add_stats(const SynthesisStats& stats,
   set("restarts", stats.restarts);
   set("solutions_found", stats.solutions_found);
   set("workers", stats.workers);
+  set("dense_kernel", stats.dense_kernel);
+  set("representation_switches", stats.representation_switches);
   if (!stats.tt_shard_hits.empty()) {
     // Per-shard duplicate hits of the shared transposition table; only
     // parallel runs carry them, so sequential records stay unchanged.

@@ -271,13 +271,14 @@ std::string Pprm::to_string() const {
 }
 
 std::size_t Pprm::hash() const {
-  // Combines the incrementally maintained per-output hashes; salting by
-  // the output index makes term movement between outputs change the hash.
-  // O(num_vars) instead of a pass over every cube — the transposition
-  // table hashes every materialized child, so this is a search hot path.
-  std::uint64_t h = 0x243f6a8885a308d3ull;  // pi, arbitrary nonzero seed
+  // Folds the incrementally maintained per-output hashes (the combiner is
+  // shared with DensePprm::hash so both representations of one system
+  // hash identically). O(num_vars) instead of a pass over every cube —
+  // the transposition table hashes every materialized child, so this is
+  // a search hot path.
+  std::uint64_t h = kSystemHashSeed;
   for (std::size_t i = 0; i < outs_.size(); ++i) {
-    h += splitmix64(outs_[i].raw_hash() + 0x9e3779b97f4a7c15ull * (i + 1));
+    h = fold_output_hash(h, outs_[i].raw_hash(), i);
   }
   return static_cast<std::size_t>(h);
 }

@@ -14,6 +14,7 @@
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -34,6 +35,20 @@ namespace rmrls {
 /// Hash of one cube as used by the incremental expansion hash.
 [[nodiscard]] constexpr std::uint64_t cube_hash(Cube c) noexcept {
   return splitmix64(static_cast<std::uint64_t>(c));
+}
+
+/// Seed of the whole-system hash. Pprm::hash() and DensePprm::hash()
+/// (rev/pprm_dense.hpp) fold per-output raw hashes with the same
+/// seed/salt, so both representations of one system hash identically —
+/// the transposition-table contract the cross-representation tests pin.
+inline constexpr std::uint64_t kSystemHashSeed = 0x243f6a8885a308d3ull;
+
+/// Folds output `index`'s raw hash (XOR of cube_hash over its terms)
+/// into a running system hash; salting by the index makes term movement
+/// between outputs change the result.
+[[nodiscard]] constexpr std::uint64_t fold_output_hash(
+    std::uint64_t acc, std::uint64_t raw_hash, std::size_t index) noexcept {
+  return acc + splitmix64(raw_hash + 0x9e3779b97f4a7c15ull * (index + 1));
 }
 
 /// A single-output PPRM expansion: an XOR of cubes, stored sorted and unique.
@@ -163,21 +178,23 @@ class Pprm {
 
 std::ostream& operator<<(std::ostream& os, const Pprm& p);
 
-/// Free list of Pprm systems for the search hot path: every materialized
-/// child that gets pruned (and every expanded queue entry) returns here,
-/// and the next materialization reuses its per-output buffers instead of
-/// reallocating. Single-threaded; each search worker owns one.
-class PprmPool {
+/// Free list of search states for the hot path: every materialized child
+/// that gets pruned (and every expanded queue entry) returns here, and
+/// the next materialization reuses its buffers instead of reallocating.
+/// Works for any representation the engine is instantiated over (Pprm or
+/// DensePprm). Single-threaded; each search worker owns one.
+template <class State>
+class StatePool {
  public:
   /// A recycled system (buffers intact) or a fresh empty one.
-  [[nodiscard]] Pprm acquire() {
-    if (free_.empty()) return Pprm();
-    Pprm p = std::move(free_.back());
+  [[nodiscard]] State acquire() {
+    if (free_.empty()) return State();
+    State p = std::move(free_.back());
     free_.pop_back();
     return p;
   }
 
-  void release(Pprm&& p) {
+  void release(State&& p) {
     if (free_.size() < kMaxRetained) free_.push_back(std::move(p));
   }
 
@@ -187,7 +204,9 @@ class PprmPool {
   /// Enough to cover a full expansion's churn; beyond this the pool would
   /// just hoard the peak queue's memory.
   static constexpr std::size_t kMaxRetained = 1024;
-  std::vector<Pprm> free_;
+  std::vector<State> free_;
 };
+
+using PprmPool = StatePool<Pprm>;
 
 }  // namespace rmrls

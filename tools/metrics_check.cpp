@@ -73,6 +73,17 @@ bool check_record(const std::string& line, const std::string& where) {
     std::cerr << where << ": workers is not a number >= 1\n";
     return false;
   }
+  const JsonValue* dense = parsed->find("dense_kernel");
+  if (dense->type != JsonValue::Type::kBool) {
+    std::cerr << where << ": dense_kernel is not a bool\n";
+    return false;
+  }
+  const JsonValue* switches = parsed->find("representation_switches");
+  if (!switches->is_number() || switches->number < 0) {
+    std::cerr << where
+              << ": representation_switches is not a non-negative number\n";
+    return false;
+  }
   // Optional per-shard transposition hit counts (parallel engine only):
   // an array of non-negative numbers whose sum cannot exceed the total
   // duplicate prunes (sequential passes of the same run may add more).

@@ -61,6 +61,12 @@ void help(const char* argv0, std::ostream& os) {
         "                     thread); see docs/parallelism.md\n"
         "  --tt-shards N      shards of the shared transposition table\n"
         "                     (parallel engine only, default 16)\n"
+        "  --dense-threshold N\n"
+        "                     widest system (in variables) eligible for"
+        " the\n"
+        "                     word-parallel dense spectrum kernel (default"
+        " 14,\n"
+        "                     0 = always sparse); see docs/dense_pprm.md\n"
         "  --tt / --no-tt     transposition table on/off\n"
         "  --cumul / --stage-elim\n"
         "                     cumulative vs per-stage elimination priority\n"
@@ -206,6 +212,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--tt-shards") {
       options.tt_shards = static_cast<int>(num_ll(arg, next()));
       if (options.tt_shards < 1) bad_number(arg, std::to_string(options.tt_shards));
+    } else if (arg == "--dense-threshold") {
+      options.dense_threshold = static_cast<int>(num_ll(arg, next()));
+      if (options.dense_threshold < 0) {
+        bad_number(arg, std::to_string(options.dense_threshold));
+      }
     } else if (arg == "--first") {
       options.stop_at_first_solution = true;
     } else if (arg == "--no-extra") {
