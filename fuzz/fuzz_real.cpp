@@ -1,0 +1,33 @@
+/// \file fuzz_real.cpp
+/// \brief Fuzz harness for the hardened .real parser (docs/robustness.md).
+///
+/// read_real_checked must never throw or trip a sanitizer, and every
+/// accepted circuit must survive a write/parse round-trip with the same
+/// gate list.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "io/real_format.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  const rmrls::Result<rmrls::RealCircuit> r =
+      rmrls::read_real_checked(text);
+  if (!r.ok()) return 0;
+  // The writer validates metadata widths; a parsed circuit whose
+  // .constants/.garbage disagree with the gate list is legal input text,
+  // so only round-trip the gate list itself.
+  rmrls::RealCircuit canonical;
+  canonical.circuit = r.value().circuit;
+  const std::string rendered = rmrls::write_real(canonical);
+  const rmrls::Result<rmrls::RealCircuit> again =
+      rmrls::read_real_checked(rendered);
+  if (!again.ok() ||
+      again.value().circuit.gate_count() != r.value().circuit.gate_count()) {
+    __builtin_trap();
+  }
+  return 0;
+}

@@ -1,0 +1,25 @@
+/// \file fuzz_spec.cpp
+/// \brief Fuzz harness for the hardened permutation-spec parser
+/// (docs/robustness.md).
+///
+/// parse_permutation_spec_checked must never throw or trip a sanitizer;
+/// every accepted table must round-trip through the brace-notation writer.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "io/spec.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  const rmrls::Result<rmrls::TruthTable> r =
+      rmrls::parse_permutation_spec_checked(text);
+  if (!r.ok()) return 0;
+  const std::string rendered = rmrls::write_permutation_spec(r.value());
+  const rmrls::Result<rmrls::TruthTable> again =
+      rmrls::parse_permutation_spec_checked(rendered);
+  if (!again.ok() || !(again.value() == r.value())) __builtin_trap();
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "core/cancel.hpp"
 #include "core/factor_enum.hpp"
 #include "rev/pprm_transform.hpp"
 
@@ -11,6 +12,9 @@ SynthesisResult synthesize_greedy(const Pprm& spec,
                                   const SynthesisOptions& options) {
   using Clock = std::chrono::steady_clock;
   const auto start_time = Clock::now();
+  const bool timed = options.time_limit.count() > 0;
+  const auto deadline = start_time + options.time_limit;
+  CancelToken* const cancel = options.cancel_token;
 
   SynthesisResult result;
   result.initial_terms = spec.term_count();
@@ -20,10 +24,34 @@ SynthesisResult synthesize_greedy(const Pprm& spec,
   Candidate previous{};
   bool have_previous = false;
 
-  while (!state.is_identity() && circuit.gate_count() < max_gates) {
+  // Greedy is the anytime fallback of the resilience cascade
+  // (docs/robustness.md): it honors the same cooperative stop sources as
+  // the search engine (cancellation token, wall-clock limit), polling per
+  // candidate so overshoot stays bounded by one substitution even on wide
+  // systems.
+  bool stopped = false;
+  TerminationReason stop_reason = TerminationReason::kTimeLimit;
+  const auto should_stop = [&] {
+    if (stopped) return true;
+    if (cancel != nullptr && cancel->cancelled()) {
+      stopped = true;
+      stop_reason = cancel->reason() == CancelReason::kDeadline
+                        ? TerminationReason::kTimeLimit
+                        : TerminationReason::kCancelled;
+      return true;
+    }
+    if (timed && Clock::now() >= deadline) {
+      stopped = true;
+      stop_reason = TerminationReason::kTimeLimit;
+      return true;
+    }
+    return false;
+  };
+
+  while (!state.is_identity() && circuit.gate_count() < max_gates &&
+         !should_stop()) {
     const std::vector<Candidate> candidates = enumerate_candidates(
         state, options, have_previous ? &previous : nullptr);
-    const int terms = state.term_count();
     const int depth = circuit.gate_count() + 1;
 
     bool found = false;
@@ -31,6 +59,7 @@ SynthesisResult synthesize_greedy(const Pprm& spec,
     Pprm best_state;
     double best_priority = 0.0;
     for (const Candidate& cand : candidates) {
+      if (should_stop()) break;
       Pprm next = state;
       const int delta = next.substitute(cand.target, cand.factor);
       ++result.stats.children_created;
@@ -50,8 +79,11 @@ SynthesisResult synthesize_greedy(const Pprm& spec,
         best_priority = priority;
       }
     }
-    if (!found) break;  // stuck: no substitution makes progress
-    (void)terms;
+    if (stopped) break;
+    if (!found) {
+      stop_reason = TerminationReason::kQueueExhausted;  // stuck
+      break;
+    }
     state = std::move(best_state);
     circuit.append(Gate(best.factor, best.target));
     previous = best;
@@ -65,9 +97,23 @@ SynthesisResult synthesize_greedy(const Pprm& spec,
     result.success = true;
     result.circuit = std::move(circuit);
     result.stats.solutions_found = 1;
+    result.termination = TerminationReason::kSolved;
   } else {
     result.circuit = Circuit(spec.num_vars());
+    if (stopped) {
+      result.termination = stop_reason;
+    } else if (circuit.gate_count() >= max_gates) {
+      result.termination = TerminationReason::kNodeBudget;
+    } else {
+      result.termination = TerminationReason::kQueueExhausted;
+    }
+    // Preserve the incomplete cascade: a caller out of budget may still
+    // want the closest approximation the fallback reached.
+    result.partial = std::move(circuit);
+    result.partial_terms = state.term_count();
   }
+  result.stats.cancelled =
+      result.termination == TerminationReason::kCancelled;
   return result;
 }
 

@@ -16,8 +16,12 @@
 namespace rmrls {
 
 /// Greedy synthesis: repeatedly apply the best-priority substitution until
-/// the system is the identity, the step limit is hit, or no substitution
-/// reduces the term count.
+/// the system is the identity, the step limit is hit, no substitution
+/// reduces the term count, or a cooperative stop fires
+/// (SynthesisOptions::cancel_token / time_limit). On failure the result
+/// carries the incomplete cascade in `partial` / `partial_terms`, which
+/// makes this the anytime fallback of the resilience cascade
+/// (docs/robustness.md).
 [[nodiscard]] SynthesisResult synthesize_greedy(
     const Pprm& spec, const SynthesisOptions& options = {});
 

@@ -48,11 +48,13 @@ void apply_input_side(std::vector<std::uint64_t>& image, const Gate& g) {
 
 }  // namespace
 
-Circuit synthesize_transformation_based(const TruthTable& spec) {
+Circuit synthesize_transformation_based(const TruthTable& spec,
+                                        CancelToken* cancel) {
   const int n = spec.num_vars();
   std::vector<std::uint64_t> image = spec.image();
   std::vector<Gate> out_gates;
   for (std::uint64_t i = 0; i < image.size(); ++i) {
+    if (cancel != nullptr && cancel->cancelled()) break;
     if (image[i] == i) continue;
     for (const Gate& g : steer(image[i], i)) {
       apply_output_side(image, g);
@@ -68,7 +70,8 @@ Circuit synthesize_transformation_based(const TruthTable& spec) {
   return c;
 }
 
-Circuit synthesize_transformation_bidir(const TruthTable& spec) {
+Circuit synthesize_transformation_bidir(const TruthTable& spec,
+                                        CancelToken* cancel) {
   const int n = spec.num_vars();
   std::vector<std::uint64_t> image = spec.image();
   std::vector<std::uint64_t> inverse(image.size());
@@ -81,6 +84,7 @@ Circuit synthesize_transformation_bidir(const TruthTable& spec) {
   };
 
   for (std::uint64_t i = 0; i < image.size(); ++i) {
+    if (cancel != nullptr && cancel->cancelled()) break;
     if (image[i] == i) continue;
     const std::uint64_t y = image[i];
     const std::uint64_t x = inverse[i];

@@ -10,17 +10,24 @@
 
 #pragma once
 
+#include "core/cancel.hpp"
 #include "rev/circuit.hpp"
 #include "rev/truth_table.hpp"
 
 namespace rmrls {
 
-/// Basic (output-side only) transformation-based synthesis.
-[[nodiscard]] Circuit synthesize_transformation_based(const TruthTable& spec);
+/// Basic (output-side only) transformation-based synthesis. When `cancel`
+/// is given it is polled once per table row; a cancelled run returns the
+/// incomplete cascade built so far, so callers must verify the result
+/// (rev/equivalence.hpp) before trusting it — see docs/robustness.md.
+[[nodiscard]] Circuit synthesize_transformation_based(
+    const TruthTable& spec, CancelToken* cancel = nullptr);
 
 /// Bidirectional variant: per row, choose the cheaper of fixing the output
-/// mapping or the input mapping (Section III's description of [7]).
-[[nodiscard]] Circuit synthesize_transformation_bidir(const TruthTable& spec);
+/// mapping or the input mapping (Section III's description of [7]). Same
+/// per-row cancellation contract as synthesize_transformation_based.
+[[nodiscard]] Circuit synthesize_transformation_bidir(
+    const TruthTable& spec, CancelToken* cancel = nullptr);
 
 /// Output-permutation variant (the other idea Section III quotes from
 /// [7]): instead of driving every output back to its own input, try every

@@ -1,0 +1,30 @@
+#include "core/cancel.hpp"
+
+namespace rmrls {
+
+Watchdog::Watchdog(CancelToken& token, std::chrono::milliseconds limit)
+    : token_(token) {
+  thread_ = std::thread([this, limit] {
+    std::unique_lock<std::mutex> lock(m_);
+    if (cv_.wait_for(lock, limit, [this] { return disarmed_; })) {
+      return;  // disarmed before the deadline
+    }
+    token_.cancel(CancelReason::kDeadline);
+    fired_.store(true, std::memory_order_release);
+  });
+}
+
+Watchdog::~Watchdog() {
+  disarm();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Watchdog::disarm() {
+  {
+    const std::lock_guard<std::mutex> lock(m_);
+    disarmed_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace rmrls

@@ -1,0 +1,93 @@
+/// \file cancel.hpp
+/// \brief Cooperative cancellation and wall-clock watchdog
+/// (docs/robustness.md).
+///
+/// A CancelToken is a one-shot flag the engines poll from their expansion
+/// and substitution loops (SynthesisOptions::cancel_token); checking it is
+/// a relaxed atomic load, cheap enough for per-candidate polling at large
+/// widths. A Watchdog turns a wall-clock budget into that flag from a
+/// helper thread, so even code that never reads the clock — long
+/// word-parallel substitution passes at n >= 20, the baselines — stops
+/// within one loop iteration of the deadline.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+namespace rmrls {
+
+/// Why a CancelToken fired. The first cancel() wins; later calls are
+/// ignored, so the reason is stable once set.
+enum class CancelReason : std::uint8_t {
+  kNone = 0,  ///< not cancelled
+  kUser,      ///< explicit caller cancellation (e.g. SIGINT)
+  kDeadline,  ///< a wall-clock budget expired (Watchdog or deadline poll)
+};
+
+/// One-shot cooperative cancellation flag, safe to fire from any thread or
+/// from a signal handler (cancel() is a single atomic CAS).
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Fires the token; the first reason to arrive sticks.
+  void cancel(CancelReason reason = CancelReason::kUser) {
+    std::uint8_t expected = 0;
+    reason_.compare_exchange_strong(expected,
+                                    static_cast<std::uint8_t>(reason),
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool cancelled() const {
+    return reason_.load(std::memory_order_relaxed) != 0;
+  }
+
+  [[nodiscard]] CancelReason reason() const {
+    return static_cast<CancelReason>(reason_.load(std::memory_order_acquire));
+  }
+
+  /// Re-arms the token (between independent runs; not thread-safe against
+  /// concurrent cancel()).
+  void reset() { reason_.store(0, std::memory_order_release); }
+
+ private:
+  std::atomic<std::uint8_t> reason_{0};
+};
+
+/// Fires `token` with CancelReason::kDeadline once `limit` elapses, unless
+/// disarmed first. The destructor disarms and joins, so scoping a Watchdog
+/// to a synthesis call enforces that call's wall-clock budget.
+class Watchdog {
+ public:
+  Watchdog(CancelToken& token, std::chrono::milliseconds limit);
+  ~Watchdog();
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Stops the countdown; the token is left untouched if the deadline has
+  /// not fired yet. Idempotent.
+  void disarm();
+
+  /// True once the deadline elapsed and the watchdog cancelled the token.
+  [[nodiscard]] bool fired() const {
+    return fired_.load(std::memory_order_acquire);
+  }
+
+ private:
+  CancelToken& token_;
+  std::mutex m_;
+  std::condition_variable cv_;
+  bool disarmed_ = false;
+  std::atomic<bool> fired_{false};
+  std::thread thread_;
+};
+
+}  // namespace rmrls

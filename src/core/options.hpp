@@ -12,6 +12,7 @@ namespace rmrls {
 
 class TraceSink;      // obs/trace.hpp
 struct PhaseProfile;  // obs/phase_profile.hpp
+class CancelToken;    // core/cancel.hpp
 
 /// Options controlling the RMRLS best-first search. Defaults reproduce the
 /// paper's configuration: priority weights (0.3, 0.6, 0.1), both classes of
@@ -117,6 +118,13 @@ struct SynthesisOptions {
   /// refinement reruns, so it aggregates the whole synthesis.
   PhaseProfile* phase_profile = nullptr;
 
+  /// Cooperative cancellation (core/cancel.hpp, docs/robustness.md): when
+  /// set, the engines poll this token from their expansion and candidate
+  /// loops and stop within one iteration of it firing. A deadline-reason
+  /// cancellation (Watchdog) reports TerminationReason::kTimeLimit, a user
+  /// one kCancelled. Null (the default) disables the polls entirely.
+  CancelToken* cancel_token = nullptr;
+
   /// Worker threads of the parallel engine (docs/parallelism.md). 1 (the
   /// default) runs the exact sequential search — bit-identical results.
   /// N > 1 expands the root sequentially, partitions the first-level
@@ -160,8 +168,9 @@ struct SynthesisOptions {
 enum class TerminationReason : std::uint8_t {
   kSolved,          ///< stopped by a solution (stop-at-first / identity)
   kNodeBudget,      ///< max_nodes expansions reached
-  kTimeLimit,       ///< wall-clock deadline passed
+  kTimeLimit,       ///< wall-clock deadline passed (poll or Watchdog)
   kQueueExhausted,  ///< queue (and restart seeds) ran dry
+  kCancelled,       ///< the caller's CancelToken fired (user reason)
 };
 
 [[nodiscard]] constexpr const char* to_string(TerminationReason reason) {
@@ -170,6 +179,7 @@ enum class TerminationReason : std::uint8_t {
     case TerminationReason::kNodeBudget: return "node_budget";
     case TerminationReason::kTimeLimit: return "time_limit";
     case TerminationReason::kQueueExhausted: return "queue_exhausted";
+    case TerminationReason::kCancelled: return "cancelled";
   }
   return "unknown";
 }
@@ -182,7 +192,9 @@ enum class TerminationReason : std::uint8_t {
 ///                     + pruned_depth + pruned_max_gates + pruned_duplicate
 ///                     + pruned_greedy + dropped_queue_full
 ///
-/// an invariant asserted by tests/test_obs.cpp. `pruned_stale` counts
+/// an invariant asserted by tests/test_obs.cpp. Runs aborted mid-expansion
+/// by a deadline or cancellation (docs/robustness.md) are also excluded:
+/// they may leave priced-but-unclassified children behind. `pruned_stale` counts
 /// *popped* entries (already in children_pushed) discarded at expansion
 /// time, so it is deliberately outside the identity. A restart re-seed
 /// dropped into a full heap also counts under `dropped_queue_full` (it
@@ -218,6 +230,14 @@ struct SynthesisStats {
   /// the density rule). Normally 0: the kernel choice is a function of
   /// the spec, and one spec keeps it across refinement reruns.
   std::uint64_t representation_switches = 0;
+  /// True when the run was stopped by an explicit (user-reason) cooperative
+  /// cancellation; deadline-reason cancellations report through
+  /// TerminationReason::kTimeLimit instead (docs/robustness.md).
+  bool cancelled = false;
+  /// True when a Watchdog enforced the wall-clock deadline for this run.
+  /// Set by the layer that owns the watchdog (synthesize_resilient, CLI),
+  /// not by the search itself.
+  bool watchdog_fired = false;
   std::chrono::microseconds elapsed{0};
 };
 
@@ -245,6 +265,8 @@ inline void accumulate_stats(SynthesisStats& into, const SynthesisStats& from) {
   into.representation_switches += from.representation_switches;
   if (into.dense_kernel != from.dense_kernel) ++into.representation_switches;
   into.dense_kernel |= from.dense_kernel;
+  into.cancelled |= from.cancelled;
+  into.watchdog_fired |= from.watchdog_fired;
   if (!from.tt_shard_hits.empty()) {
     if (into.tt_shard_hits.size() < from.tt_shard_hits.size()) {
       into.tt_shard_hits.resize(from.tt_shard_hits.size(), 0);

@@ -21,12 +21,14 @@ int resolve_threads(int requested) {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-/// kSolved > kTimeLimit > kNodeBudget > kQueueExhausted: a solution ending
-/// the run beats everything; a deadline hit anywhere means the run was
-/// time-bound even if other workers drained their queues.
+/// kSolved > kCancelled > kTimeLimit > kNodeBudget > kQueueExhausted: a
+/// solution ending the run beats everything; an explicit cancellation or a
+/// deadline hit anywhere means the run was cut short even if other workers
+/// drained their queues.
 int precedence(TerminationReason r) {
   switch (r) {
-    case TerminationReason::kSolved: return 3;
+    case TerminationReason::kSolved: return 4;
+    case TerminationReason::kCancelled: return 3;
     case TerminationReason::kTimeLimit: return 2;
     case TerminationReason::kNodeBudget: return 1;
     case TerminationReason::kQueueExhausted: return 0;
@@ -74,6 +76,17 @@ SynthesisResult run_parallel_impl(const Rep& start,
     return result;
   }
 
+  if (options.cancel_token != nullptr && options.cancel_token->cancelled()) {
+    result.termination =
+        options.cancel_token->reason() == CancelReason::kDeadline
+            ? TerminationReason::kTimeLimit
+            : TerminationReason::kCancelled;
+    result.stats.cancelled =
+        result.termination == TerminationReason::kCancelled;
+    result.stats.elapsed = wall_since(wall_start);
+    return result;
+  }
+
   std::uint64_t remaining_budget = 0;  // 0 = unlimited
   if (options.max_nodes > 0) {
     if (root.stats.nodes_expanded >= options.max_nodes) {
@@ -82,6 +95,21 @@ SynthesisResult run_parallel_impl(const Rep& start,
       return result;
     }
     remaining_budget = options.max_nodes - root.stats.nodes_expanded;
+  }
+
+  // The wall budget covers the whole pass: workers get what the root
+  // expansion left, measured from their own start, so the pass-level
+  // deadline holds without a shared clock.
+  SynthesisOptions worker_base = options;
+  if (options.time_limit.count() > 0) {
+    const auto spent = std::chrono::duration_cast<std::chrono::milliseconds>(
+        Clock::now() - wall_start);
+    if (spent >= options.time_limit) {
+      result.termination = TerminationReason::kTimeLimit;
+      result.stats.elapsed = wall_since(wall_start);
+      return result;
+    }
+    worker_base.time_limit = options.time_limit - spent;
   }
   if (root.seeds.empty()) {
     // Every first-level child was pruned away: the search space under this
@@ -119,7 +147,7 @@ SynthesisResult run_parallel_impl(const Rep& start,
   pool.reserve(static_cast<std::size_t>(num_workers));
   for (int w = 0; w < num_workers; ++w) {
     pool.emplace_back([&, w] {
-      SynthesisOptions wopts = options;
+      SynthesisOptions wopts = worker_base;
       wopts.num_threads = 1;
       wopts.max_nodes = 0;  // the shared budget governs, not the local one
       wopts.trace_sink =

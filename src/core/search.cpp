@@ -18,6 +18,7 @@ BasicSearch<Rep>::BasicSearch(Rep start, SynthesisOptions options)
       options_(options),
       num_vars_(start_.num_vars()),
       initial_terms_(start_.term_count()),
+      cancel_(options.cancel_token),
       sink_(options.trace_sink),
       profile_(options.phase_profile) {}
 
@@ -31,6 +32,7 @@ BasicSearch<Rep>::BasicSearch(Rep start, SynthesisOptions options,
       initial_terms_(start_.term_count()),
       shared_(shared),
       seeds_(std::move(seeds)),
+      cancel_(options.cancel_token),
       sink_(options.trace_sink),
       profile_(options.phase_profile) {}
 
@@ -152,6 +154,14 @@ bool BasicSearch<Rep>::expand(QueueEntry entry) {
   {
     const ScopedPhaseTimer timer(profile_, Phase::kSubstitute);
     for (const Candidate& cand : candidates) {
+      // Polling here (not just between pops) bounds deadline overshoot by
+      // one substitute_delta even when a single expansion enumerates
+      // thousands of candidates at n >= 20; see should_stop().
+      if (should_stop()) {
+        termination_ = stop_reason_;
+        pool_.release(std::move(entry.state));
+        return true;
+      }
       ChildEval ce;
       ce.cand = cand;
       const int delta = entry.state.substitute_delta(cand.target, cand.factor);
@@ -231,6 +241,11 @@ bool BasicSearch<Rep>::expand(QueueEntry entry) {
                                   : 2 * num_vars_;
   for (ChildEval& ce : children) {
     if (ce.solved) continue;
+    if (should_stop()) {
+      termination_ = stop_reason_;
+      pool_.release(std::move(entry.state));
+      return true;
+    }
     // Non-reducing substitutions are tolerated up to the per-path budget
     // (strict monotone pruning provably disconnects e.g. wire
     // permutations from the identity); see DESIGN.md.
@@ -393,10 +408,10 @@ SynthesisResult BasicSearch<Rep>::run() {
   SynthesisResult result;
   result.initial_terms = initial_terms_;
   run_start_ = Clock::now();
-  const auto deadline =
-      options_.time_limit.count() > 0
-          ? run_start_ + options_.time_limit
-          : Clock::time_point::max();
+  if (options_.time_limit.count() > 0) {
+    deadline_ = run_start_ + options_.time_limit;
+    deadline_armed_ = true;
+  }
 
   {
     TraceEvent e;
@@ -464,8 +479,11 @@ SynthesisResult BasicSearch<Rep>::run() {
       termination_ = TerminationReason::kNodeBudget;
       break;
     }
-    if ((stats_.nodes_expanded & 0x3f) == 0 && Clock::now() >= deadline) {
-      termination_ = TerminationReason::kTimeLimit;
+    // Polled every pop (the old every-64-pops cadence let a single slow
+    // expansion overshoot the deadline unboundedly at large n); the
+    // expansion loops poll per candidate on top of this.
+    if (should_stop()) {
+      termination_ = stop_reason_;
       break;
     }
     // The restart heuristic (Section IV-E) fires only while no solution
@@ -513,6 +531,7 @@ SynthesisResult BasicSearch<Rep>::run() {
 
   stats_.elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
       Clock::now() - run_start_);
+  stats_.cancelled = termination_ == TerminationReason::kCancelled;
   result.stats = stats_;
   result.termination = termination_;
   if (best_node_ >= 0) {

@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "core/factor_enum.hpp"
 #include "core/options.hpp"
 #include "obs/phase_profile.hpp"
@@ -46,6 +47,12 @@ struct SynthesisResult {
   /// bidirectional) this is the reason of the final Search pass, i.e. why
   /// the overall synthesis stopped looking for better circuits.
   TerminationReason termination = TerminationReason::kQueueExhausted;
+  /// Anytime engines (greedy; docs/robustness.md) fill in the incomplete
+  /// cascade built before a failed run stopped, plus the term count of the
+  /// system it leaves behind. Empty / -1 on success and for engines that
+  /// do not produce partials.
+  Circuit partial;
+  int partial_terms = -1;
 };
 
 /// One first-level subtree of the search: a root child produced by a
@@ -204,6 +211,38 @@ class BasicSearch {
 
   SynthesisStats stats_;
   TerminationReason termination_ = TerminationReason::kQueueExhausted;
+
+  /// Resilience (core/cancel.hpp, docs/robustness.md): the wall-clock
+  /// deadline (armed only when SynthesisOptions::time_limit > 0) and the
+  /// caller's cancellation token, both polled by should_stop().
+  std::chrono::steady_clock::time_point deadline_{};
+  bool deadline_armed_ = false;
+  CancelToken* cancel_ = nullptr;
+  bool stop_requested_ = false;
+  TerminationReason stop_reason_ = TerminationReason::kTimeLimit;
+
+  /// Cooperative stop poll, called once per pop and once per candidate in
+  /// the expansion loops — at the widths where deadlines matter a single
+  /// substitute_delta dwarfs both the relaxed atomic load and the clock
+  /// read, so overshoot is bounded by one candidate evaluation instead of
+  /// 64 node expansions. Latches the first reason it sees.
+  [[nodiscard]] bool should_stop() {
+    if (stop_requested_) return true;
+    if (cancel_ != nullptr && cancel_->cancelled()) {
+      stop_requested_ = true;
+      stop_reason_ = cancel_->reason() == CancelReason::kDeadline
+                         ? TerminationReason::kTimeLimit
+                         : TerminationReason::kCancelled;
+      return true;
+    }
+    if (deadline_armed_ &&
+        std::chrono::steady_clock::now() >= deadline_) {
+      stop_requested_ = true;
+      stop_reason_ = TerminationReason::kTimeLimit;
+      return true;
+    }
+    return false;
+  }
 
   /// Observability (obs/): both observers are null unless installed via
   /// SynthesisOptions; the emission sites reduce to one pointer test each.

@@ -1,6 +1,7 @@
 #include "core/synthesizer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <random>
 
 #include "core/parallel.hpp"
@@ -62,6 +63,16 @@ void emit_refinement_round(const SynthesisOptions& options, int gates) {
 }  // namespace
 
 SynthesisResult synthesize(const Pprm& spec, const SynthesisOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  // time_limit bounds the whole multi-pass run, not each pass: every rerun
+  // below receives only what is left on this wall clock (docs/robustness.md).
+  const auto wall_start = Clock::now();
+  const bool timed = options.time_limit.count() > 0;
+  const auto remaining = [&]() {
+    return options.time_limit -
+           std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                                 wall_start);
+  };
   const bool refine =
       options.iterative_refinement && !options.stop_at_first_solution;
   SynthesisOptions first = options;
@@ -70,6 +81,8 @@ SynthesisResult synthesize(const Pprm& spec, const SynthesisOptions& options) {
   }
   SynthesisResult result = run_search(spec, first);
   if (!refine) return result;
+  // A user cancellation ends the whole driver, never just the pass.
+  if (result.termination == TerminationReason::kCancelled) return result;
   SynthesisOptions scope = options;  // options for the refinement reruns
   if (!result.success) {
     // The scouting run found nothing: spend the rest of the budget on one
@@ -83,6 +96,14 @@ SynthesisResult synthesize(const Pprm& spec, const SynthesisOptions& options) {
     rest.max_nodes = options.max_nodes - result.stats.nodes_expanded;
     rest.iterative_refinement = false;
     rest.exempt_scope = SynthesisOptions::ExemptScope::kAny;
+    if (timed) {
+      const auto left = remaining();
+      if (left.count() <= 0) {
+        result.termination = TerminationReason::kTimeLimit;
+        return result;
+      }
+      rest.time_limit = left;
+    }
     SynthesisResult retry = run_search(spec, rest);
     accumulate_stats(retry.stats, result.stats);
     if (!retry.success) return retry;
@@ -92,6 +113,7 @@ SynthesisResult synthesize(const Pprm& spec, const SynthesisOptions& options) {
   // Iterative tightening: rerun with a cap one below the best size so far;
   // each rerun spends what is left of the node budget.
   while (result.circuit.gate_count() > 1) {
+    if (result.termination == TerminationReason::kCancelled) break;
     SynthesisOptions tighter = scope;
     if (options.max_nodes > 0) {
       if (result.stats.nodes_expanded >= options.max_nodes) {
@@ -99,6 +121,14 @@ SynthesisResult synthesize(const Pprm& spec, const SynthesisOptions& options) {
         break;
       }
       tighter.max_nodes = options.max_nodes - result.stats.nodes_expanded;
+    }
+    if (timed) {
+      const auto left = remaining();
+      if (left.count() <= 0) {
+        result.termination = TerminationReason::kTimeLimit;
+        break;
+      }
+      tighter.time_limit = left;
     }
     tighter.max_gates = result.circuit.gate_count() - 1;
     tighter.iterative_refinement = false;
@@ -126,16 +156,34 @@ SynthesisResult synthesize(const TruthTable& spec,
 
 SynthesisResult synthesize_bidirectional(const TruthTable& spec,
                                          const SynthesisOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  const auto wall_start = Clock::now();
   SynthesisOptions half = options;
   if (options.max_nodes > 0) {
     half.max_nodes = std::max<std::uint64_t>(options.max_nodes / 2, 1);
   }
+  if (options.time_limit.count() > 0) {
+    half.time_limit = std::max<std::chrono::milliseconds>(
+        options.time_limit / 2, std::chrono::milliseconds{1});
+  }
   SynthesisResult forward = synthesize(spec, half);
+  if (forward.termination == TerminationReason::kCancelled) return forward;
   SynthesisOptions rest = options;
   if (options.max_nodes > 0) {
     const std::uint64_t spent = forward.stats.nodes_expanded;
     if (spent >= options.max_nodes) return forward;
     rest.max_nodes = options.max_nodes - spent;
+  }
+  if (options.time_limit.count() > 0) {
+    const auto left =
+        options.time_limit -
+        std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                              wall_start);
+    if (left.count() <= 0) {
+      forward.termination = TerminationReason::kTimeLimit;
+      return forward;
+    }
+    rest.time_limit = left;
   }
   SynthesisResult backward = synthesize(spec.inverse(), rest);
   accumulate_stats(forward.stats, backward.stats);

@@ -1,6 +1,7 @@
 #include "io/real_format.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <map>
 #include <sstream>
 #include <stdexcept>
@@ -13,11 +14,6 @@ namespace {
 std::string line_name(int v, int num_lines) {
   if (num_lines <= 26) return std::string(1, static_cast<char>('a' + v));
   return "x" + std::to_string(v);
-}
-
-[[noreturn]] void fail(int line_no, const std::string& what) {
-  throw std::invalid_argument(".real line " + std::to_string(line_no) +
-                              ": " + what);
 }
 
 }  // namespace
@@ -56,7 +52,11 @@ std::string write_real(const MixedCircuit& c) {
   return write_real(rc);
 }
 
-RealCircuit read_real(const std::string& text) {
+Result<RealCircuit> read_real_checked(const std::string& text,
+                                      const std::string& filename) {
+  const auto fail = [&](int line_no, const std::string& what) {
+    return Status::parse_error(filename, line_no, what);
+  };
   std::istringstream is(text);
   std::string line;
   std::map<std::string, int> line_index;
@@ -73,20 +73,26 @@ RealCircuit read_real(const std::string& text) {
     std::istringstream ls(line);
     std::string head;
     if (!(ls >> head)) continue;
-    if (done) fail(line_no, "content after .end");
+    if (done) return fail(line_no, "content after .end");
     if (head == ".version") continue;
     if (head == ".numvars") {
       if (!(ls >> declared_vars) || declared_vars < 1 ||
           declared_vars > kMaxVariables) {
-        fail(line_no, "bad .numvars");
+        return fail(line_no, "bad .numvars");
       }
       continue;
     }
     if (head == ".variables") {
       std::string name;
       while (ls >> name) {
-        if (line_index.count(name)) fail(line_no, "duplicate line " + name);
+        if (line_index.count(name)) {
+          return fail(line_no, "duplicate line " + name);
+        }
         const int idx = static_cast<int>(line_index.size());
+        if (idx >= kMaxVariables) {
+          return fail(line_no, "more than " + std::to_string(kMaxVariables) +
+                                   " lines");
+        }
         line_index[name] = idx;
       }
       continue;
@@ -104,49 +110,56 @@ RealCircuit read_real(const std::string& text) {
       continue;  // metadata we do not need
     }
     if (head == ".begin") {
-      if (line_index.empty()) fail(line_no, ".begin before .variables");
+      if (line_index.empty()) return fail(line_no, ".begin before .variables");
       if (declared_vars >= 0 &&
           declared_vars != static_cast<int>(line_index.size())) {
-        fail(line_no, ".numvars disagrees with .variables");
+        return fail(line_no, ".numvars disagrees with .variables");
       }
       in_body = true;
       continue;
     }
     if (head == ".end") {
-      if (!in_body) fail(line_no, ".end before .begin");
+      if (!in_body) return fail(line_no, ".end before .begin");
       done = true;
       continue;
     }
-    if (!in_body) fail(line_no, "gate outside .begin/.end");
+    if (!in_body) return fail(line_no, "gate outside .begin/.end");
     if (head.size() < 2 || (head[0] != 't' && head[0] != 'f')) {
-      fail(line_no, "unsupported gate '" + head + "' (t*/f* only)");
+      return fail(line_no, "unsupported gate '" + head + "' (t*/f* only)");
     }
     const bool fredkin = head[0] == 'f';
     int arity = 0;
-    try {
-      arity = std::stoi(head.substr(1));
-    } catch (const std::exception&) {
-      fail(line_no, "bad gate arity in '" + head + "'");
+    const char* const first = head.data() + 1;
+    const char* const last = head.data() + head.size();
+    const auto [ptr, ec] = std::from_chars(first, last, arity);
+    if (ec != std::errc{} || ptr != last || arity < 1) {
+      return fail(line_no, "bad gate arity in '" + head + "'");
     }
     std::vector<int> operands;
     std::string name;
     while (ls >> name) {
       if (!name.empty() && (name[0] == '-' || name[0] == '+')) {
-        fail(line_no, "negative/positive control markers are unsupported");
+        return fail(line_no,
+                    "negative/positive control markers are unsupported");
       }
       const auto it = line_index.find(name);
-      if (it == line_index.end()) fail(line_no, "unknown line '" + name + "'");
+      if (it == line_index.end()) {
+        return fail(line_no, "unknown line '" + name + "'");
+      }
       operands.push_back(it->second);
     }
     if (static_cast<int>(operands.size()) != arity) {
-      fail(line_no, "expected " + std::to_string(arity) + " operands");
+      return fail(line_no, "expected " + std::to_string(arity) + " operands");
     }
     const int target_count = fredkin ? 2 : 1;
-    if (arity < target_count) fail(line_no, "too few operands");
+    if (arity < target_count) return fail(line_no, "too few operands");
     Cube controls = kConstOne;
     for (std::size_t i = 0; i + target_count < operands.size(); ++i) {
       controls |= cube_of_var(operands[i]);
     }
+    // Gate constructors still guard their own invariants (target repeated
+    // as control, Fredkin pair aliasing); relabel those as parse errors of
+    // this line.
     try {
       if (fredkin) {
         gates.push_back(MixedGate::fredkin(controls,
@@ -156,14 +169,20 @@ RealCircuit read_real(const std::string& text) {
         gates.push_back(MixedGate::toffoli(Gate(controls, operands.back())));
       }
     } catch (const std::invalid_argument& e) {
-      fail(line_no, e.what());
+      return fail(line_no, e.what());
     }
   }
-  if (!done) throw std::invalid_argument(".real: missing .end");
+  if (!done) return fail(line_no, "missing .end");
   MixedCircuit c(static_cast<int>(line_index.size()));
   for (const MixedGate& g : gates) c.append(g);
   rc.circuit = std::move(c);
   return rc;
+}
+
+RealCircuit read_real(const std::string& text) {
+  Result<RealCircuit> r = read_real_checked(text, ".real");
+  if (!r.ok()) throw std::invalid_argument(r.status().to_string());
+  return std::move(r).value();
 }
 
 }  // namespace rmrls

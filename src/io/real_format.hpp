@@ -24,6 +24,7 @@
 
 #include <string>
 
+#include "core/status.hpp"
 #include "rev/fredkin.hpp"
 
 namespace rmrls {
@@ -41,8 +42,15 @@ struct RealCircuit {
 [[nodiscard]] std::string write_real(const RealCircuit& rc);
 [[nodiscard]] std::string write_real(const MixedCircuit& c);
 
-/// Parses .real text. Throws std::invalid_argument with a line-numbered
-/// message on malformed input or unsupported gate kinds.
+/// Parses .real text. Never throws on malformed input or unsupported gate
+/// kinds: every failure returns a kParseError Status whose diagnostic
+/// renders as `filename:line: reason` (docs/robustness.md). `filename`
+/// only labels the diagnostics.
+[[nodiscard]] Result<RealCircuit> read_real_checked(
+    const std::string& text, const std::string& filename = "<real>");
+
+/// Throwing convenience wrapper around read_real_checked: throws
+/// std::invalid_argument carrying the same line-numbered diagnostic.
 [[nodiscard]] RealCircuit read_real(const std::string& text);
 
 }  // namespace rmrls

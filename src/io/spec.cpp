@@ -6,22 +6,34 @@
 
 namespace rmrls {
 
-TruthTable parse_permutation_spec(const std::string& text) {
+Result<TruthTable> parse_permutation_spec_checked(const std::string& text,
+                                                  const std::string& filename) {
+  const auto fail = [&](int line_no, const std::string& what) {
+    return Status::parse_error(filename, line_no, what);
+  };
   std::vector<std::uint64_t> image;
   std::uint64_t value = 0;
   bool in_number = false;
   bool in_comment = false;
+  int line_no = 1;
   for (char ch : text) {
-    if (in_comment) {
-      if (ch == '\n') in_comment = false;
-      continue;
+    if (ch == '\n') {
+      in_comment = false;
+      ++line_no;
     }
+    if (in_comment) continue;
     if (ch == '#') {
       in_comment = true;
       ch = ' ';  // terminate any pending number
     }
     if (std::isdigit(static_cast<unsigned char>(ch))) {
-      value = value * 10 + static_cast<std::uint64_t>(ch - '0');
+      const auto digit = static_cast<std::uint64_t>(ch - '0');
+      // Reject instead of silently wrapping modulo 2^64: a wrapped entry
+      // would alias a small valid one and corrupt the permutation.
+      if (value > (~std::uint64_t{0} - digit) / 10) {
+        return fail(line_no, "entry too large for 64 bits");
+      }
+      value = value * 10 + digit;
       in_number = true;
       continue;
     }
@@ -34,12 +46,25 @@ TruthTable parse_permutation_spec(const std::string& text) {
         std::isspace(static_cast<unsigned char>(ch))) {
       continue;
     }
-    throw std::invalid_argument(std::string("unexpected character '") + ch +
-                                "' in permutation spec");
+    return fail(line_no,
+                std::string("unexpected character '") + ch +
+                    "' in permutation spec");
   }
   if (in_number) image.push_back(value);
-  if (image.empty()) throw std::invalid_argument("empty permutation spec");
-  return TruthTable(std::move(image));  // validates size and bijectivity
+  if (image.empty()) return fail(line_no, "empty permutation spec");
+  // The text was well-formed; what remains is semantic validation (size a
+  // power of two, bijective image), which TruthTable's constructor owns.
+  try {
+    return TruthTable(std::move(image));
+  } catch (const std::invalid_argument& e) {
+    return Status::invalid_spec(filename, e.what());
+  }
+}
+
+TruthTable parse_permutation_spec(const std::string& text) {
+  Result<TruthTable> r = parse_permutation_spec_checked(text, "<spec>");
+  if (!r.ok()) throw std::invalid_argument(r.status().to_string());
+  return std::move(r).value();
 }
 
 std::string write_permutation_spec(const TruthTable& tt) {

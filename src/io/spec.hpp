@@ -10,12 +10,22 @@
 
 #include <string>
 
+#include "core/status.hpp"
 #include "rev/truth_table.hpp"
 
 namespace rmrls {
 
-/// Parses a permutation spec. Throws std::invalid_argument on malformed
-/// text or a non-bijective image vector.
+/// Parses a permutation spec. Never throws on bad input: malformed text
+/// returns a kParseError Status (with the 1-based line of the offending
+/// character), a well-formed but semantically invalid function — image not
+/// a power-of-two size, out-of-range or repeated entries — returns
+/// kInvalidSpec (docs/robustness.md). `filename` only labels the
+/// diagnostics.
+[[nodiscard]] Result<TruthTable> parse_permutation_spec_checked(
+    const std::string& text, const std::string& filename = "<spec>");
+
+/// Throwing convenience wrapper around parse_permutation_spec_checked:
+/// throws std::invalid_argument carrying the same diagnostic.
 [[nodiscard]] TruthTable parse_permutation_spec(const std::string& text);
 
 /// Renders in the paper's brace notation (inverse of the parser).

@@ -1,5 +1,7 @@
 #include "io/tfc.hpp"
 
+#include <cctype>
+#include <charconv>
 #include <map>
 #include <sstream>
 #include <stdexcept>
@@ -27,11 +29,6 @@ std::vector<std::string> split_commas(const std::string& s) {
   }
   if (!cur.empty()) out.push_back(cur);
   return out;
-}
-
-[[noreturn]] void fail(int line_no, const std::string& what) {
-  throw std::invalid_argument("tfc line " + std::to_string(line_no) + ": " +
-                              what);
 }
 
 }  // namespace
@@ -64,7 +61,11 @@ std::string write_tfc(const Circuit& c) {
   return os.str();
 }
 
-Circuit read_tfc(const std::string& text) {
+Result<Circuit> read_tfc_checked(const std::string& text,
+                                 const std::string& filename) {
+  const auto fail = [&](int line_no, const std::string& what) {
+    return Status::parse_error(filename, line_no, what);
+  };
   std::istringstream is(text);
   std::string line;
   std::map<std::string, int> line_index;
@@ -79,13 +80,19 @@ Circuit read_tfc(const std::string& text) {
     std::istringstream ls(line);
     std::string head;
     if (!(ls >> head)) continue;  // blank line
-    if (done) fail(line_no, "content after END");
+    if (done) return fail(line_no, "content after END");
     if (head == ".v") {
       std::string rest;
       std::getline(ls, rest);
       for (const std::string& name : split_commas(rest)) {
-        if (line_index.count(name)) fail(line_no, "duplicate line " + name);
+        if (line_index.count(name)) {
+          return fail(line_no, "duplicate line " + name);
+        }
         const int idx = static_cast<int>(line_index.size());
+        if (idx >= kMaxVariables) {
+          return fail(line_no, "more than " + std::to_string(kMaxVariables) +
+                                   " lines");
+        }
         line_index[name] = idx;
       }
       continue;
@@ -94,37 +101,38 @@ Circuit read_tfc(const std::string& text) {
       continue;  // metadata we do not need
     }
     if (head == "BEGIN") {
-      if (line_index.empty()) fail(line_no, "BEGIN before .v");
+      if (line_index.empty()) return fail(line_no, "BEGIN before .v");
       in_body = true;
       continue;
     }
     if (head == "END") {
-      if (!in_body) fail(line_no, "END before BEGIN");
+      if (!in_body) return fail(line_no, "END before BEGIN");
       done = true;
       continue;
     }
-    if (!in_body) fail(line_no, "gate outside BEGIN/END");
+    if (!in_body) return fail(line_no, "gate outside BEGIN/END");
     if (head.size() < 2 || head[0] != 't') {
-      fail(line_no, "unsupported gate '" + head + "' (Toffoli only)");
+      return fail(line_no, "unsupported gate '" + head + "' (Toffoli only)");
     }
     int arity = 0;
-    try {
-      arity = std::stoi(head.substr(1));
-    } catch (const std::exception&) {
-      fail(line_no, "bad gate arity in '" + head + "'");
+    const char* const first = head.data() + 1;
+    const char* const last = head.data() + head.size();
+    const auto [ptr, ec] = std::from_chars(first, last, arity);
+    if (ec != std::errc{} || ptr != last || arity < 1) {
+      return fail(line_no, "bad gate arity in '" + head + "'");
     }
     std::string rest;
     std::getline(ls, rest);
     const std::vector<std::string> operands = split_commas(rest);
     if (static_cast<int>(operands.size()) != arity) {
-      fail(line_no, "expected " + std::to_string(arity) + " operands");
+      return fail(line_no, "expected " + std::to_string(arity) + " operands");
     }
     Cube controls = kConstOne;
     int target = -1;
     for (std::size_t i = 0; i < operands.size(); ++i) {
       const auto it = line_index.find(operands[i]);
       if (it == line_index.end()) {
-        fail(line_no, "unknown line '" + operands[i] + "'");
+        return fail(line_no, "unknown line '" + operands[i] + "'");
       }
       if (i + 1 == operands.size()) {
         target = it->second;
@@ -133,12 +141,18 @@ Circuit read_tfc(const std::string& text) {
       }
     }
     if (cube_has_var(controls, target)) {
-      fail(line_no, "target repeated as control");
+      return fail(line_no, "target repeated as control");
     }
     gates.emplace_back(controls, target);
   }
-  if (!done) throw std::invalid_argument("tfc: missing END");
+  if (!done) return fail(line_no, "missing END");
   return Circuit(static_cast<int>(line_index.size()), std::move(gates));
+}
+
+Circuit read_tfc(const std::string& text) {
+  Result<Circuit> r = read_tfc_checked(text, "tfc");
+  if (!r.ok()) throw std::invalid_argument(r.status().to_string());
+  return std::move(r).value();
 }
 
 }  // namespace rmrls

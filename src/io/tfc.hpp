@@ -21,6 +21,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "core/status.hpp"
 #include "rev/circuit.hpp"
 
 namespace rmrls {
@@ -29,8 +30,15 @@ namespace rmrls {
 /// above 26 lines).
 [[nodiscard]] std::string write_tfc(const Circuit& c);
 
-/// Parses .tfc text. Throws std::invalid_argument with a line-numbered
-/// message on malformed input.
+/// Parses .tfc text. Never throws on malformed input: every failure
+/// returns a kParseError Status whose diagnostic renders as
+/// `filename:line: reason` (docs/robustness.md). `filename` only labels
+/// the diagnostics.
+[[nodiscard]] Result<Circuit> read_tfc_checked(
+    const std::string& text, const std::string& filename = "<tfc>");
+
+/// Throwing convenience wrapper around read_tfc_checked: throws
+/// std::invalid_argument carrying the same line-numbered diagnostic.
 [[nodiscard]] Circuit read_tfc(const std::string& text);
 
 }  // namespace rmrls

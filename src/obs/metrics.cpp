@@ -14,6 +14,7 @@ const std::vector<std::string>& metrics_required_keys() {
       "children_created", "children_pushed", "solutions_found",
       "elapsed_us",    "gates",       "quantum_cost", "workers",
       "dense_kernel",  "representation_switches",
+      "cancelled",     "watchdog_fired",
   };
   return keys;
 }
@@ -66,6 +67,8 @@ MetricsRegistry& MetricsRegistry::add_stats(const SynthesisStats& stats,
   set("workers", stats.workers);
   set("dense_kernel", stats.dense_kernel);
   set("representation_switches", stats.representation_switches);
+  set("cancelled", stats.cancelled);
+  set("watchdog_fired", stats.watchdog_fired);
   if (!stats.tt_shard_hits.empty()) {
     // Per-shard duplicate hits of the shared transposition table; only
     // parallel runs carry them, so sequential records stay unchanged.

@@ -46,7 +46,7 @@ bool check_record(const std::string& line, const std::string& where) {
   const std::string& t = termination->string;
   if (!termination->is_string() ||
       (t != "solved" && t != "node_budget" && t != "time_limit" &&
-       t != "queue_exhausted")) {
+       t != "queue_exhausted" && t != "cancelled")) {
     std::cerr << where << ": unknown termination reason '" << t << "'\n";
     return false;
   }
@@ -83,6 +83,32 @@ bool check_record(const std::string& line, const std::string& where) {
     std::cerr << where
               << ": representation_switches is not a non-negative number\n";
     return false;
+  }
+  // Resilience fields (docs/robustness.md): the two flags are required by
+  // the schema; the engine label and verification flag only appear on
+  // --resilient runs.
+  const JsonValue* cancelled = parsed->find("cancelled");
+  const JsonValue* watchdog = parsed->find("watchdog_fired");
+  if (cancelled->type != JsonValue::Type::kBool ||
+      watchdog->type != JsonValue::Type::kBool) {
+    std::cerr << where << ": cancelled/watchdog_fired are not bools\n";
+    return false;
+  }
+  const JsonValue* engine = parsed->find("fallback_engine");
+  if (engine != nullptr) {
+    const std::string& e = engine->string;
+    if (!engine->is_string() ||
+        (e != "none" && e != "best_first" && e != "greedy" &&
+         e != "transformation_based")) {
+      std::cerr << where << ": unknown fallback_engine '" << e << "'\n";
+      return false;
+    }
+    const JsonValue* verified = parsed->find("verified");
+    if (verified == nullptr || verified->type != JsonValue::Type::kBool) {
+      std::cerr << where
+                << ": fallback_engine without a boolean 'verified'\n";
+      return false;
+    }
   }
   // Optional per-shard transposition hit counts (parallel engine only):
   // an array of non-negative numbers whose sum cannot exceed the total

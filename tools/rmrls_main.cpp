@@ -4,6 +4,7 @@
 /// Run `rmrls --help` for the full option list (the help() function below
 /// is the authoritative reference).
 
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -12,6 +13,9 @@
 #include <string>
 
 #include "bench_suite/registry.hpp"
+#include "core/cancel.hpp"
+#include "core/resilient.hpp"
+#include "core/status.hpp"
 #include "core/synthesizer.hpp"
 #include "io/spec.hpp"
 #include "io/tfc.hpp"
@@ -24,6 +28,14 @@
 #include "templates/simplify.hpp"
 
 namespace {
+
+/// Ctrl-C cancels the run cooperatively: the engines drain within one
+/// candidate evaluation and the CLI exits with the kCancelled code (5),
+/// after writing metrics. CancelToken::cancel is a lock-free atomic CAS,
+/// safe to call from a signal handler.
+rmrls::CancelToken g_cancel;
+
+void handle_sigint(int) { g_cancel.cancel(rmrls::CancelReason::kUser); }
 
 void help(const char* argv0, std::ostream& os) {
   os << "usage: " << argv0
@@ -71,6 +83,15 @@ void help(const char* argv0, std::ostream& os) {
         "  --cumul / --stage-elim\n"
         "                     cumulative vs per-stage elimination priority\n"
         "\n"
+        "Resilience (docs/robustness.md):\n"
+        "  --resilient        fallback cascade: best-first, then greedy,\n"
+        "                     then transformation-based; the winner is\n"
+        "                     verified and labelled in the metrics. With\n"
+        "                     --time-ms the whole cascade shares the\n"
+        "                     wall-clock budget under a watchdog.\n"
+        "  --no-watchdog      enforce --time-ms cooperatively only (no\n"
+        "                     watchdog thread)\n"
+        "\n"
         "Post-processing and output:\n"
         "  --templates        post-process with the template pass\n"
         "  --fredkin          extract Fredkin gates (mixed output)\n"
@@ -88,7 +109,11 @@ void help(const char* argv0, std::ostream& os) {
         "                     docs/observability.md\n"
         "  --progress         human-readable search progress on stderr\n"
         "\n"
-        "  --help, -h         this text\n";
+        "  --help, -h         this text\n"
+        "\n"
+        "Exit codes: 0 success; 2 usage / invalid argument; 3 unreadable\n"
+        "or malformed input; 4 budget exhausted without a circuit;\n"
+        "5 cancelled (SIGINT); 6 internal error (verification failure).\n";
 }
 
 int usage(const char* argv0) {
@@ -148,6 +173,8 @@ int main(int argc, char** argv) {
   bool run_templates = false;
   bool run_fredkinize = false;
   bool bidirectional = false;
+  bool resilient_mode = false;
+  bool use_watchdog = true;
   bool emit_tfc = false;
   std::string tfc_file;
   std::string trace_file;
@@ -228,6 +255,10 @@ int main(int argc, char** argv) {
       run_fredkinize = true;
     } else if (arg == "--bidir") {
       bidirectional = true;
+    } else if (arg == "--resilient") {
+      resilient_mode = true;
+    } else if (arg == "--no-watchdog") {
+      use_watchdog = false;
     } else if (arg == "--resynth") {
       tfc_file = next();
     } else if (arg == "--tfc") {
@@ -273,6 +304,13 @@ int main(int argc, char** argv) {
     PhaseProfile profile;
     if (!metrics_file.empty()) options.phase_profile = &profile;
 
+    // Input handling is fail-soft (docs/robustness.md): the checked
+    // parsers return a Status whose diagnostic carries file:line, and the
+    // Status category picks the exit code.
+    const auto input_error = [](const Status& status) {
+      std::cerr << "error: " << status.to_string() << "\n";
+      return exit_code_for(status.code());
+    };
     Pprm spec;
     std::string input_name;
     std::optional<TruthTable> table_spec;
@@ -281,44 +319,95 @@ int main(int argc, char** argv) {
       // realizing the same function.
       std::ifstream in(tfc_file);
       if (!in) {
-        std::cerr << "cannot open " << tfc_file << "\n";
-        return 1;
+        std::cerr << "error: cannot open " << tfc_file << "\n";
+        return exit_code_for(StatusCode::kParseError);
       }
       std::ostringstream buf;
       buf << in.rdbuf();
-      const Circuit original = read_tfc(buf.str());
+      Result<Circuit> parsed = read_tfc_checked(buf.str(), tfc_file);
+      if (!parsed.ok()) return input_error(parsed.status());
+      const Circuit original = std::move(parsed).value();
       std::cerr << "resynthesizing " << original.gate_count()
                 << "-gate cascade on " << original.num_lines() << " lines\n";
       spec = original.to_pprm();
       input_name = tfc_file;
     } else if (!perm_text.empty()) {
-      table_spec = parse_permutation_spec(perm_text);
+      Result<TruthTable> parsed =
+          parse_permutation_spec_checked(perm_text, "<perm>");
+      if (!parsed.ok()) return input_error(parsed.status());
+      table_spec = std::move(parsed).value();
       spec = pprm_of_truth_table(*table_spec);
       input_name = "perm";
     } else if (!spec_file.empty()) {
       std::ifstream in(spec_file);
       if (!in) {
-        std::cerr << "cannot open " << spec_file << "\n";
-        return 1;
+        std::cerr << "error: cannot open " << spec_file << "\n";
+        return exit_code_for(StatusCode::kParseError);
       }
       std::ostringstream buf;
       buf << in.rdbuf();
-      spec = pprm_of_truth_table(parse_permutation_spec(buf.str()));
+      Result<TruthTable> parsed =
+          parse_permutation_spec_checked(buf.str(), spec_file);
+      if (!parsed.ok()) return input_error(parsed.status());
+      table_spec = std::move(parsed).value();
+      spec = pprm_of_truth_table(*table_spec);
       input_name = spec_file;
     } else if (!benchmark.empty()) {
-      spec = suite::get_benchmark(benchmark).pprm;
+      try {
+        spec = suite::get_benchmark(benchmark).pprm;
+      } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return exit_code_for(StatusCode::kInvalidArgument);
+      }
       input_name = benchmark;
     } else {
       return usage(argv[0]);
     }
 
-    const SynthesisResult result =
-        bidirectional && table_spec
-            ? synthesize_bidirectional(*table_spec, options)
-            : synthesize(spec, options);
-    if (bidirectional && !table_spec) {
-      std::cerr << "note: --bidir needs an explicit permutation spec;"
-                   " running forward only\n";
+    // Ctrl-C cancels cooperatively from here on (user reason -> exit 5).
+    std::signal(SIGINT, handle_sigint);
+    options.cancel_token = &g_cancel;
+
+    SynthesisResult result;
+    FallbackEngine engine = FallbackEngine::kNone;
+    bool verified = false;
+    Status run_status;
+    if (resilient_mode) {
+      ResilienceOptions ropts;
+      ropts.search = options;
+      ropts.search.time_limit = std::chrono::milliseconds{0};
+      ropts.deadline = options.time_limit;  // the cascade owns the clock
+      ropts.use_watchdog = use_watchdog;
+      ropts.cancel_token = &g_cancel;
+      if (bidirectional) {
+        std::cerr << "note: --resilient runs the forward cascade;"
+                     " --bidir is ignored\n";
+      }
+      ResilientResult rr = table_spec
+                               ? synthesize_resilient(*table_spec, ropts)
+                               : synthesize_resilient(spec, ropts);
+      result = std::move(rr.result);
+      engine = rr.engine;
+      verified = rr.verified;
+      run_status = rr.status;
+    } else {
+      // The watchdog backstops --time-ms even if a pass wedges between
+      // cooperative deadline polls.
+      std::unique_ptr<Watchdog> watchdog;
+      if (use_watchdog && options.time_limit.count() > 0) {
+        watchdog = std::make_unique<Watchdog>(g_cancel, options.time_limit);
+      }
+      result = bidirectional && table_spec
+                   ? synthesize_bidirectional(*table_spec, options)
+                   : synthesize(spec, options);
+      if (bidirectional && !table_spec) {
+        std::cerr << "note: --bidir needs an explicit permutation spec;"
+                     " running forward only\n";
+      }
+      if (watchdog != nullptr) {
+        watchdog->disarm();
+        result.stats.watchdog_fired = watchdog->fired();
+      }
     }
     // One JSONL record per run: counters + termination + phase timings +
     // circuit stats (gates/cost -1 when the synthesis failed).
@@ -333,6 +422,12 @@ int main(int argc, char** argv) {
       record.set("name", input_name).set("vars", spec.num_vars());
       record.set("success", result.success);
       record.add_stats(result.stats, result.termination);
+      if (resilient_mode) {
+        // Degradation visibility: which engine of the cascade won (or
+        // "none") and whether the winner passed exact verification.
+        record.set("fallback_engine", std::string_view(to_string(engine)));
+        record.set("verified", verified);
+      }
       record.add_profile(profile);
       if (circuit != nullptr) {
         record.add_circuit(*circuit);
@@ -348,8 +443,16 @@ int main(int argc, char** argv) {
                 << result.stats.nodes_expanded << " nodes expanded,"
                    " termination: "
                 << to_string(result.termination) << ")\n";
+      if (result.partial_terms >= 0) {
+        std::cerr << "best partial cascade: " << result.partial.gate_count()
+                  << " gates, " << result.partial_terms
+                  << " terms remaining\n";
+      }
       write_metrics(nullptr);
-      return 1;
+      if (resilient_mode) return exit_code_for(run_status.code());
+      return exit_code_for(result.termination == TerminationReason::kCancelled
+                               ? StatusCode::kCancelled
+                               : StatusCode::kBudgetExhausted);
     }
     Circuit circuit = result.circuit;
     if (run_templates) {
@@ -357,7 +460,7 @@ int main(int argc, char** argv) {
     }
     if (!implements(circuit, spec)) {
       std::cerr << "internal error: circuit fails verification\n";
-      return 1;
+      return exit_code_for(StatusCode::kInternal);
     }
     if (!write_metrics(&circuit)) return 1;
     if (run_fredkinize) {
@@ -389,6 +492,6 @@ int main(int argc, char** argv) {
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    return exit_code_for(StatusCode::kInternal);
   }
 }
