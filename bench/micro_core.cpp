@@ -15,10 +15,15 @@
 #include <vector>
 
 #include "baselines/transformation_based.hpp"
+#include "core/batch.hpp"
 #include "core/factor_enum.hpp"
+#include "core/resilient.hpp"
+#include "core/synth_cache.hpp"
 #include "core/synthesizer.hpp"
 #include "obs/json.hpp"
 #include "obs/trace.hpp"
+#include "rev/canonical.hpp"
+#include "rev/equivalence.hpp"
 #include "rev/pprm_transform.hpp"
 #include "rev/random.hpp"
 
@@ -294,6 +299,110 @@ void BM_TransformationBased(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TransformationBased)->Arg(3)->Arg(6)->Arg(8);
+
+// Cache-path microbenchmarks (docs/caching.md). The first three price the
+// building blocks of a verified cache hit; BM_CacheHitPath is the whole
+// hit service — canonicalize, shard lookup, wire relabeling, equivalence
+// re-verification — i.e. the numerator of the "hit latency < 1% of cold
+// synthesis" claim that bench/batch_throughput measures end to end.
+
+void BM_Canonicalize(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::mt19937_64 rng(21);
+  const TruthTable spec = random_reversible_function(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(canonicalize(spec));
+  }
+}
+// 4 and 6 take the exact n! scan; 8 exercises the signature-pruned path.
+BENCHMARK(BM_Canonicalize)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_RelabelWires(benchmark::State& state) {
+  std::mt19937_64 rng(22);
+  const Circuit c = random_circuit(8, 25, GateLibrary::kGT, rng);
+  const std::vector<int> sigma = {3, 1, 7, 0, 5, 2, 6, 4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.relabel_wires(sigma));
+  }
+}
+BENCHMARK(BM_RelabelWires);
+
+void BM_CacheHitPath(benchmark::State& state) {
+  std::mt19937_64 rng(23);
+  const TruthTable spec = random_reversible_function(4, rng);
+  const CanonicalForm form = canonicalize(spec);
+  SynthCache cache{SynthCacheOptions{}};
+  // Seed the cache with a constructive circuit for the representative, as
+  // a warm batch run would have left behind.
+  cache.insert(form.key, synthesize_transformation_bidir(form.representative));
+  const Pprm spec_pprm = pprm_of_truth_table(spec);
+  for (auto _ : state) {
+    const CanonicalForm f = canonicalize(spec);
+    const std::optional<Circuit> got = cache.lookup(f.key);
+    const Circuit rebuilt = reconstruct_circuit(*got, f.transform);
+    benchmark::DoNotOptimize(equivalent(rebuilt, spec_pprm));
+  }
+}
+BENCHMARK(BM_CacheHitPath);
+
+// The denominator of the same claim: cold resilient synthesis of the
+// identical spec BM_CacheHitPath serves from the cache (seed 23 above).
+void BM_ColdSynthesisRandom4(benchmark::State& state) {
+  std::mt19937_64 rng(23);
+  const TruthTable spec = random_reversible_function(4, rng);
+  const ResilienceOptions o;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synthesize_resilient(spec, o));
+  }
+}
+BENCHMARK(BM_ColdSynthesisRandom4);
+
+// The batch engine on a fixed 16-job, 50%-orbit-repeat 4-variable
+// workload, sequentially (no cache) vs with a fresh orbit cache per
+// iteration. Single-threaded on purpose: the pair isolates the cache's
+// work-avoidance from the thread pool's parallelism (which
+// bench/batch_throughput measures with real thread counts).
+std::vector<BatchJob> micro_batch_jobs() {
+  std::mt19937_64 rng(24);
+  std::vector<TruthTable> bases;
+  std::vector<BatchJob> jobs;
+  for (int i = 0; i < 16; ++i) {
+    TruthTable t;
+    if (i < 8) {
+      t = random_reversible_function(4, rng);
+      bases.push_back(t);
+    } else {
+      std::vector<int> sigma = {0, 1, 2, 3};
+      std::shuffle(sigma.begin(), sigma.end(), rng);
+      t = conjugate(bases[rng() % bases.size()], sigma);
+      if (rng() & 1u) t = t.inverse();
+    }
+    jobs.push_back(BatchJob{"job" + std::to_string(i), std::move(t)});
+  }
+  return jobs;
+}
+
+void BM_BatchThroughputSequential(benchmark::State& state) {
+  const std::vector<BatchJob> jobs = micro_batch_jobs();
+  BatchOptions o;
+  o.resilience.search.max_nodes = 50000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_batch(jobs, o));
+  }
+}
+BENCHMARK(BM_BatchThroughputSequential);
+
+void BM_BatchThroughputCached(benchmark::State& state) {
+  const std::vector<BatchJob> jobs = micro_batch_jobs();
+  for (auto _ : state) {
+    SynthCache cache{SynthCacheOptions{}};
+    BatchOptions o;
+    o.resilience.search.max_nodes = 50000;
+    o.cache = &cache;
+    benchmark::DoNotOptimize(run_batch(jobs, o));
+  }
+}
+BENCHMARK(BM_BatchThroughputCached);
 
 /// One benchmark's name -> real_time (ns) from a google-benchmark JSON
 /// report. Aggregate rows (mean/median/stddev repetitions) are skipped.

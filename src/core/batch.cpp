@@ -1,0 +1,268 @@
+#include "core/batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "rev/equivalence.hpp"
+#include "rev/pprm.hpp"
+#include "rev/pprm_transform.hpp"
+
+namespace rmrls {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int resolve_total(int total) {
+  if (total > 0) return total;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// Shared mutable state of one batch run; workers pull job indices from
+/// `next` and write only their own outcome slots, so the only lock guards
+/// the accumulated counters.
+struct BatchContext {
+  const std::vector<BatchJob>* jobs = nullptr;
+  const BatchOptions* options = nullptr;
+  CancelToken* token = nullptr;
+  Clock::time_point batch_start{};
+  std::vector<BatchJobOutcome>* outcomes = nullptr;
+
+  std::atomic<std::size_t> next{0};
+  std::mutex stats_m;
+  BatchStats stats;
+  SynthesisStats search_stats;
+};
+
+/// Milliseconds of batch budget left, clamped to at least 1ms so a job
+/// starting at the wire still runs one cooperative poll instead of getting
+/// an unlimited deadline from a zero remainder.
+std::chrono::milliseconds remaining_deadline(const BatchContext& ctx) {
+  if (ctx.options->deadline.count() <= 0) return std::chrono::milliseconds{0};
+  const auto left =
+      ctx.options->deadline - std::chrono::duration_cast<std::chrono::milliseconds>(
+                                  Clock::now() - ctx.batch_start);
+  return std::max(std::chrono::milliseconds{1}, left);
+}
+
+ResilienceOptions job_resilience(const BatchContext& ctx, int search_threads) {
+  ResilienceOptions r = ctx.options->resilience;
+  r.cancel_token = ctx.token;
+  // The batch owns the one Watchdog; per-job enforcement is cooperative
+  // against whatever batch time is left (docs/robustness.md).
+  r.use_watchdog = false;
+  r.deadline = remaining_deadline(ctx);
+  r.search.num_threads = search_threads;
+  return r;
+}
+
+/// Verifies `circuit` against the job's own spec; counts and fills the
+/// outcome on success.
+bool adopt_verified(BatchJobOutcome& out, const Pprm& spec_pprm,
+                    Circuit circuit) {
+  if (!equivalent(circuit, spec_pprm)) return false;
+  out.verified = true;
+  out.status = Status();
+  out.result.success = true;
+  out.result.circuit = std::move(circuit);
+  out.result.termination = TerminationReason::kSolved;
+  return true;
+}
+
+void run_one_job(BatchContext& ctx, std::size_t index, int search_threads) {
+  const BatchJob& job = (*ctx.jobs)[index];
+  BatchJobOutcome& out = (*ctx.outcomes)[index];
+  out.name = job.name;
+  const auto job_start = Clock::now();
+  const auto finish = [&] {
+    out.elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        Clock::now() - job_start);
+    std::lock_guard<std::mutex> lock(ctx.stats_m);
+    if (out.status.ok()) {
+      ++ctx.stats.completed;
+    } else {
+      ++ctx.stats.failed;
+    }
+    if (out.cache_hit) {
+      ++ctx.stats.cache_hits;
+      if (out.orbit_hit) ++ctx.stats.cache_orbit_hits;
+    } else if (out.deduped) {
+      ++ctx.stats.batch_dedup;
+    } else {
+      ++ctx.stats.cache_misses;
+    }
+    accumulate_stats(ctx.search_stats, out.result.stats);
+  };
+
+  out.result.circuit = Circuit(job.spec.num_vars());
+
+  SynthCache* const cache = ctx.options->cache;
+  if (cache == nullptr) {
+    // Cache-less batch: identical per-job behaviour to the single-shot
+    // CLI path (the --cache-mb 0 bit-identity guarantee).
+    ResilientResult r =
+        synthesize_resilient(job.spec, job_resilience(ctx, search_threads));
+    out.status = r.status;
+    out.result = std::move(r.result);
+    out.engine = r.engine;
+    out.verified = r.verified;
+    finish();
+    return;
+  }
+
+  const CanonicalForm form = canonicalize(job.spec, ctx.options->canonical);
+  const Pprm spec_pprm = pprm_of_truth_table(job.spec);
+
+  SynthCache::Acquisition acq = cache->acquire(form.key);
+  if (acq.outcome != SynthCache::Outcome::kLead && acq.circuit.has_value()) {
+    // A hash collision (or corrupt disk entry) fails this verification and
+    // falls through to a fresh synthesis — hits are never trusted blindly.
+    Circuit rebuilt = reconstruct_circuit(*acq.circuit, form.transform);
+    if (adopt_verified(out, spec_pprm, std::move(rebuilt))) {
+      if (acq.outcome == SynthCache::Outcome::kHit) {
+        out.cache_hit = true;
+        out.orbit_hit = !form.transform.is_identity();
+      } else {
+        out.deduped = true;
+      }
+      finish();
+      return;
+    }
+  }
+
+  // Miss (or follower of a failed/collided leader): synthesize the orbit
+  // representative so the cached circuit serves every member of the orbit.
+  ResilientResult r = synthesize_resilient(form.representative,
+                                           job_resilience(ctx, search_threads));
+  const bool lead = acq.outcome == SynthCache::Outcome::kLead;
+  if (r.status.ok() && r.result.success) {
+    if (lead) {
+      cache->publish(form.key, &r.result.circuit);
+    } else {
+      cache->insert(form.key, r.result.circuit);
+    }
+    Circuit rebuilt = reconstruct_circuit(r.result.circuit, form.transform);
+    out.result.stats = r.result.stats;
+    out.engine = r.engine;
+    if (!adopt_verified(out, spec_pprm, std::move(rebuilt))) {
+      out.status = Status(StatusCode::kInternal,
+                          "orbit reconstruction failed verification");
+      out.result.success = false;
+      out.result.termination = r.result.termination;
+    }
+  } else {
+    if (lead) cache->publish(form.key, nullptr);  // release the followers
+    out.status = r.status;
+    out.result = std::move(r.result);
+    out.engine = r.engine;
+    out.verified = r.verified;
+  }
+  finish();
+}
+
+void worker_loop(BatchContext& ctx, int search_threads) {
+  while (true) {
+    const std::size_t index =
+        ctx.next.fetch_add(1, std::memory_order_relaxed);
+    if (index >= ctx.jobs->size()) return;
+    if (ctx.token->cancelled()) {
+      BatchJobOutcome& out = (*ctx.outcomes)[index];
+      out.name = (*ctx.jobs)[index].name;
+      out.status =
+          ctx.token->reason() == CancelReason::kUser
+              ? Status(StatusCode::kCancelled, "batch cancelled")
+              : Status(StatusCode::kBudgetExhausted, "batch deadline expired");
+      out.result.circuit = Circuit((*ctx.jobs)[index].spec.num_vars());
+      std::lock_guard<std::mutex> lock(ctx.stats_m);
+      ++ctx.stats.failed;
+      continue;
+    }
+    run_one_job(ctx, index, search_threads);
+  }
+}
+
+}  // namespace
+
+ThreadSplit split_threads(int total, int batch_threads, std::size_t jobs) {
+  ThreadSplit split;
+  const int resolved = resolve_total(total);
+  const int job_cap = static_cast<int>(std::max<std::size_t>(1, jobs));
+  split.batch_threads =
+      batch_threads > 0 ? std::min(batch_threads, job_cap)
+                        : std::max(1, std::min(resolved, job_cap));
+  split.search_threads = std::max(1, resolved / split.batch_threads);
+  return split;
+}
+
+BatchResult run_batch(const std::vector<BatchJob>& jobs,
+                      const BatchOptions& options) {
+  const auto start = Clock::now();
+  BatchResult result;
+  result.outcomes.resize(jobs.size());
+  result.stats.jobs = jobs.size();
+  if (jobs.empty()) {
+    result.status =
+        Status(StatusCode::kInvalidArgument, "batch contains no jobs");
+    return result;
+  }
+
+  // Same token-adoption pattern as synthesize_resilient: the caller's
+  // token carries user cancellation, the batch Watchdog overlays the
+  // deadline reason, CancelToken latches whichever fires first.
+  CancelToken local_token;
+  CancelToken* const token =
+      options.cancel_token != nullptr ? options.cancel_token : &local_token;
+  std::unique_ptr<Watchdog> watchdog;
+  if (options.deadline.count() > 0 && options.use_watchdog) {
+    watchdog = std::make_unique<Watchdog>(*token, options.deadline);
+  }
+
+  const ThreadSplit split =
+      split_threads(options.total_threads, options.batch_threads, jobs.size());
+
+  BatchContext ctx;
+  ctx.jobs = &jobs;
+  ctx.options = &options;
+  ctx.token = token;
+  ctx.batch_start = start;
+  ctx.outcomes = &result.outcomes;
+
+  if (split.batch_threads <= 1) {
+    worker_loop(ctx, split.search_threads);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(split.batch_threads));
+    for (int t = 0; t < split.batch_threads; ++t) {
+      workers.emplace_back(
+          [&ctx, &split] { worker_loop(ctx, split.search_threads); });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+
+  if (watchdog != nullptr) {
+    watchdog->disarm();
+    result.watchdog_fired = watchdog->fired();
+  }
+  result.stats = ctx.stats;
+  result.stats.jobs = jobs.size();
+  result.search_stats = ctx.search_stats;
+  result.search_stats.watchdog_fired |= result.watchdog_fired;
+
+  result.status = Status();
+  for (const BatchJobOutcome& out : result.outcomes) {
+    if (!out.status.ok()) {
+      result.status = out.status;
+      break;
+    }
+  }
+  result.elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      Clock::now() - start);
+  return result;
+}
+
+}  // namespace rmrls

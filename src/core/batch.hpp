@@ -1,0 +1,138 @@
+/// \file batch.hpp
+/// \brief Batch throughput driver: a thread pool *across* functions
+/// (docs/caching.md, docs/parallelism.md).
+///
+/// PR 2's parallel engine splits one search across threads; this driver is
+/// the second level of that split — it runs many independent synthesis
+/// jobs concurrently, routing each through the canonical-orbit cache
+/// (core/synth_cache.hpp) so duplicate-heavy workloads synthesize each
+/// orbit once and relabel the rest. One CancelToken and one Watchdog span
+/// the whole batch (docs/robustness.md): a batch deadline or a SIGINT
+/// stops every in-flight job and marks the unstarted ones cancelled.
+///
+/// With a cache, a job synthesizes its spec's *canonical representative*
+/// (rev/canonical.hpp) so the cached circuit serves the entire orbit;
+/// every cache hit is reconstructed and re-verified against the original
+/// spec with the exact PPRM check before it counts. Without a cache the
+/// driver degrades to plain per-job synthesize_resilient on the original
+/// spec — bit-identical to the single-shot path.
+
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "core/resilient.hpp"
+#include "core/status.hpp"
+#include "core/synth_cache.hpp"
+#include "rev/canonical.hpp"
+#include "rev/truth_table.hpp"
+
+namespace rmrls {
+
+/// One synthesis request of a batch.
+struct BatchJob {
+  std::string name;  ///< label for outcomes/metrics (e.g. "specs.txt:12")
+  TruthTable spec;
+};
+
+/// Outcome of one job, in input order.
+struct BatchJobOutcome {
+  std::string name;
+  /// kOk with a verified circuit; kCancelled for jobs stopped (or never
+  /// started) by the batch token; kBudgetExhausted otherwise.
+  Status status;
+  /// Circuit, accumulated engine counters, and termination reason. For
+  /// cache hits the stats are empty — no engine ran.
+  SynthesisResult result;
+  FallbackEngine engine = FallbackEngine::kNone;
+  /// True iff `result.circuit` was re-checked against this job's own spec
+  /// (not just the orbit representative) with the exact PPRM check.
+  bool verified = false;
+  bool cache_hit = false;   ///< served from the cache (memory or disk)
+  bool orbit_hit = false;   ///< hit with a non-identity orbit transform
+  bool deduped = false;     ///< adopted a concurrent leader's result
+  std::chrono::microseconds elapsed{0};
+};
+
+/// Batch-level counters (the `rmrls-metrics-v1` fields of the summary
+/// record). Every completed job contributes to exactly one of hits /
+/// misses / dedup, so hits + misses + dedup <= jobs, with equality when
+/// nothing was cancelled.
+struct BatchStats {
+  std::uint64_t jobs = 0;
+  std::uint64_t completed = 0;  ///< jobs that ended kOk with a circuit
+  std::uint64_t failed = 0;     ///< jobs that ended with a non-kOk status
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;      ///< jobs that invoked synthesis
+  std::uint64_t cache_orbit_hits = 0;  ///< subset of hits: relabeled/inverted
+  std::uint64_t batch_dedup = 0;       ///< followers served by a leader
+};
+
+struct BatchOptions {
+  /// Per-job cascade configuration. `resilience.deadline`,
+  /// `resilience.use_watchdog` and `resilience.cancel_token` are
+  /// overridden per job: the batch owns the watchdog and token, and each
+  /// job's deadline is the batch time remaining at its start.
+  /// `resilience.search.num_threads` is overridden with the search-level
+  /// share of `total_threads` (see split_threads).
+  ResilienceOptions resilience;
+
+  /// Total worker budget across both levels. 0 = one per hardware thread.
+  int total_threads = 1;
+
+  /// Explicit job-level thread count; 0 derives it as
+  /// min(jobs, total_threads), giving leftover threads to each search.
+  int batch_threads = 0;
+
+  /// Wall-clock budget of the *whole batch*; zero means none.
+  std::chrono::milliseconds deadline{0};
+
+  /// Arm one Watchdog for `deadline` over the whole batch.
+  bool use_watchdog = true;
+
+  /// Optional caller-owned token (e.g. a SIGINT handler); adopted as the
+  /// batch token so its user-reason cancellation reaches every job.
+  CancelToken* cancel_token = nullptr;
+
+  /// Orbit cache shared by the jobs; null runs cache-less (each job
+  /// synthesizes its original spec directly).
+  SynthCache* cache = nullptr;
+
+  /// Canonicalizer configuration (exact-scan cutoff, candidate budget).
+  CanonicalOptions canonical;
+};
+
+struct BatchResult {
+  std::vector<BatchJobOutcome> outcomes;  ///< 1:1 with the input jobs
+  BatchStats stats;
+  /// Engine counters accumulated across every job that synthesized.
+  SynthesisStats search_stats;
+  /// kOk iff every job succeeded; otherwise the first failing job's
+  /// status in input order (the CLI exit code follows it).
+  Status status;
+  bool watchdog_fired = false;
+  std::chrono::microseconds elapsed{0};
+};
+
+/// How `total` threads are split between the two levels.
+struct ThreadSplit {
+  int batch_threads = 1;   ///< concurrent jobs
+  int search_threads = 1;  ///< SynthesisOptions::num_threads per job
+};
+
+/// Resolves the two-level split (docs/parallelism.md): an explicit
+/// `batch_threads` wins; otherwise jobs get priority
+/// (batch = min(jobs, total)) and each search keeps the integer share
+/// total / batch, never below 1. `total <= 0` means one per hardware
+/// thread.
+[[nodiscard]] ThreadSplit split_threads(int total, int batch_threads,
+                                        std::size_t jobs);
+
+/// Runs the batch. Always returns; never throws on budget, cancellation,
+/// or individual job failure.
+[[nodiscard]] BatchResult run_batch(const std::vector<BatchJob>& jobs,
+                                    const BatchOptions& options = {});
+
+}  // namespace rmrls

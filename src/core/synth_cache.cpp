@@ -1,0 +1,252 @@
+#include "core/synth_cache.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "io/tfc.hpp"
+
+namespace rmrls {
+
+namespace {
+
+/// Approximate resident cost of one cache entry: the gate storage plus
+/// list/map node bookkeeping. Precision is not the point — the budget only
+/// needs to bound memory the same way for every entry.
+std::size_t entry_cost(const Circuit& circuit) {
+  return sizeof(Circuit) + 96 +
+         static_cast<std::size_t>(circuit.gate_count()) * sizeof(Gate);
+}
+
+std::string hex_key(std::uint64_t key) {
+  static constexpr char digits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[i] = digits[key & 0xf];
+    key >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+SynthCache::SynthCache(SynthCacheOptions options)
+    : options_(std::move(options)),
+      shards_(static_cast<std::size_t>(std::max(1, options_.shards))) {
+  shard_budget_ = options_.byte_budget / shards_.size();
+  if (!options_.dir.empty()) {
+    // Best-effort: an uncreatable directory degrades to a memory-only
+    // cache (reads and writes below fail soft, entry by entry).
+    std::error_code ec;
+    std::filesystem::create_directories(options_.dir, ec);
+  }
+}
+
+SynthCache::Acquisition SynthCache::acquire(std::uint64_t key) {
+  Shard& shard = shard_of(key);
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    std::unique_lock<std::mutex> lock(shard.m);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      ++shard.stats.hits;
+      return {Outcome::kHit, it->second->circuit};
+    }
+    const auto fit = shard.inflight.find(key);
+    if (fit != shard.inflight.end()) {
+      flight = fit->second;
+      ++shard.stats.dedup_waits;
+    } else {
+      flight = std::make_shared<Flight>();
+      shard.inflight.emplace(key, flight);
+      leader = true;
+    }
+  }
+  if (!leader) {
+    std::unique_lock<std::mutex> wait_lock(flight->m);
+    flight->cv.wait(wait_lock, [&] { return flight->done; });
+    return {Outcome::kFollow, flight->circuit};
+  }
+  // Leadership covers the disk store too: exactly one thread pays the
+  // file read, and its followers adopt the revived circuit.
+  if (!options_.dir.empty()) {
+    if (std::optional<Circuit> revived = load_from_disk(key)) {
+      {
+        std::unique_lock<std::mutex> lock(shard.m);
+        ++shard.stats.disk_hits;
+        insert_locked(shard, key, *revived);
+      }
+      publish(key, &*revived);
+      return {Outcome::kHit, std::move(revived)};
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(shard.m);
+    ++shard.stats.misses;
+  }
+  return {Outcome::kLead, std::nullopt};
+}
+
+void SynthCache::publish(std::uint64_t key, const Circuit* circuit) {
+  Shard& shard = shard_of(key);
+  std::shared_ptr<Flight> flight;
+  {
+    std::unique_lock<std::mutex> lock(shard.m);
+    const auto fit = shard.inflight.find(key);
+    if (fit != shard.inflight.end()) {
+      flight = fit->second;
+      shard.inflight.erase(fit);
+    }
+    if (circuit != nullptr && shard.map.find(key) == shard.map.end()) {
+      insert_locked(shard, key, *circuit);
+    }
+  }
+  if (circuit != nullptr && !options_.dir.empty()) {
+    store_to_disk(key, *circuit);
+  }
+  if (flight != nullptr) {
+    std::unique_lock<std::mutex> wait_lock(flight->m);
+    flight->done = true;
+    if (circuit != nullptr) flight->circuit = *circuit;
+    wait_lock.unlock();
+    flight->cv.notify_all();
+  }
+}
+
+std::optional<Circuit> SynthCache::lookup(std::uint64_t key) {
+  Shard& shard = shard_of(key);
+  {
+    std::unique_lock<std::mutex> lock(shard.m);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      ++shard.stats.hits;
+      return it->second->circuit;
+    }
+  }
+  if (!options_.dir.empty()) {
+    if (std::optional<Circuit> revived = load_from_disk(key)) {
+      std::unique_lock<std::mutex> lock(shard.m);
+      ++shard.stats.disk_hits;
+      insert_locked(shard, key, *revived);
+      return revived;
+    }
+  }
+  std::unique_lock<std::mutex> lock(shard.m);
+  ++shard.stats.misses;
+  return std::nullopt;
+}
+
+void SynthCache::insert(std::uint64_t key, const Circuit& circuit) {
+  Shard& shard = shard_of(key);
+  {
+    std::unique_lock<std::mutex> lock(shard.m);
+    insert_locked(shard, key, circuit);
+  }
+  if (!options_.dir.empty()) store_to_disk(key, circuit);
+}
+
+void SynthCache::insert_locked(Shard& shard, std::uint64_t key,
+                               const Circuit& circuit) {
+  const auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    shard.bytes -= it->second->bytes;
+    it->second->circuit = circuit;
+    it->second->bytes = entry_cost(circuit);
+    shard.bytes += it->second->bytes;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    shard.lru.push_front(Entry{key, circuit, entry_cost(circuit)});
+    shard.map[key] = shard.lru.begin();
+    shard.bytes += shard.lru.front().bytes;
+    ++shard.stats.inserts;
+  }
+  // Byte-budget eviction from the LRU tail; the freshest entry is exempt
+  // so one oversized circuit cannot make insertion a no-op.
+  while (shard.bytes > shard_budget_ && shard.lru.size() > 1) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.map.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.stats.evictions;
+  }
+}
+
+std::optional<Circuit> SynthCache::load_from_disk(std::uint64_t key) const {
+  const std::filesystem::path path =
+      std::filesystem::path(options_.dir) / (hex_key(key) + ".tfc");
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  // Hardened parser (docs/robustness.md): a truncated or corrupt file is
+  // a miss, never an exception on the serving path.
+  Result<Circuit> parsed = read_tfc_checked(buf.str(), path.string());
+  if (!parsed.ok()) return std::nullopt;
+  return std::move(parsed).value();
+}
+
+void SynthCache::store_to_disk(std::uint64_t key,
+                               const Circuit& circuit) const {
+  const std::filesystem::path dir(options_.dir);
+  const std::filesystem::path path = dir / (hex_key(key) + ".tfc");
+  // Write-to-temp + rename so concurrent readers (and crashed writers)
+  // never observe a half-written .tfc. Failures degrade to a cold key.
+  const std::filesystem::path tmp =
+      dir / (hex_key(key) + ".tmp" +
+             std::to_string(
+                 std::hash<std::thread::id>{}(std::this_thread::get_id())));
+  {
+    std::ofstream out(tmp);
+    if (!out) return;
+    out << write_tfc(circuit);
+    if (!out) {
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) std::filesystem::remove(tmp, ec);
+}
+
+SynthCacheStats SynthCache::stats() const {
+  SynthCacheStats total;
+  for (const Shard& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard.m);
+    total.hits += shard.stats.hits;
+    total.disk_hits += shard.stats.disk_hits;
+    total.misses += shard.stats.misses;
+    total.dedup_waits += shard.stats.dedup_waits;
+    total.inserts += shard.stats.inserts;
+    total.evictions += shard.stats.evictions;
+  }
+  return total;
+}
+
+std::size_t SynthCache::bytes_used() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard.m);
+    total += shard.bytes;
+  }
+  return total;
+}
+
+std::size_t SynthCache::entry_count() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard.m);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+}  // namespace rmrls

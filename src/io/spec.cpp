@@ -61,6 +61,40 @@ Result<TruthTable> parse_permutation_spec_checked(const std::string& text,
   }
 }
 
+Result<std::vector<NamedSpec>> parse_permutation_batch_checked(
+    const std::string& text, const std::string& filename) {
+  std::vector<NamedSpec> specs;
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string line =
+        text.substr(pos, eol == std::string::npos ? eol : eol - pos);
+    ++line_no;
+    pos = eol == std::string::npos ? text.size() + 1 : eol + 1;
+
+    std::string body = line.substr(0, line.find('#'));
+    const bool blank =
+        body.find_first_not_of(" \t\r\f\v") == std::string::npos;
+    if (blank) continue;
+
+    Result<TruthTable> parsed =
+        parse_permutation_spec_checked(body, filename);
+    if (!parsed.ok()) {
+      // Re-anchor the per-line diagnostic at the real file line, keeping
+      // the kParseError / kInvalidSpec distinction intact.
+      return Status(parsed.status().code(), parsed.status().message(),
+                    filename, line_no);
+    }
+    specs.push_back(NamedSpec{filename + ":" + std::to_string(line_no),
+                              std::move(parsed).value()});
+  }
+  if (specs.empty()) {
+    return Status::invalid_spec(filename, "batch file contains no specs");
+  }
+  return specs;
+}
+
 TruthTable parse_permutation_spec(const std::string& text) {
   Result<TruthTable> r = parse_permutation_spec_checked(text, "<spec>");
   if (!r.ok()) throw std::invalid_argument(r.status().to_string());

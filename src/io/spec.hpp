@@ -9,6 +9,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/status.hpp"
 #include "rev/truth_table.hpp"
@@ -27,6 +28,21 @@ namespace rmrls {
 /// Throwing convenience wrapper around parse_permutation_spec_checked:
 /// throws std::invalid_argument carrying the same diagnostic.
 [[nodiscard]] TruthTable parse_permutation_spec(const std::string& text);
+
+/// One entry of a batch spec list, labelled `filename:line` for outcomes
+/// and diagnostics.
+struct NamedSpec {
+  std::string name;
+  TruthTable table;
+};
+
+/// Parses a spec-list file (`rmrls --batch`): one permutation spec per
+/// line, `#` comments and blank lines skipped. Never throws: the first
+/// malformed line returns its kParseError / kInvalidSpec Status with the
+/// real file line number; a file with no specs at all is kInvalidSpec
+/// (docs/robustness.md).
+[[nodiscard]] Result<std::vector<NamedSpec>> parse_permutation_batch_checked(
+    const std::string& text, const std::string& filename = "<batch>");
 
 /// Renders in the paper's brace notation (inverse of the parser).
 [[nodiscard]] std::string write_permutation_spec(const TruthTable& tt);

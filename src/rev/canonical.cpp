@@ -1,0 +1,248 @@
+#include "rev/canonical.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <utility>
+
+#include "rev/pprm.hpp"
+#include "rev/pprm_transform.hpp"
+
+namespace rmrls {
+
+namespace {
+
+/// Relocates each set bit i of `x` to position sigma[i].
+std::uint64_t permute_bits(std::uint64_t x, const std::vector<int>& sigma) {
+  std::uint64_t y = 0;
+  for (std::size_t i = 0; i < sigma.size(); ++i) {
+    y |= ((x >> i) & 1u) << sigma[i];
+  }
+  return y;
+}
+
+void check_permutation(const std::vector<int>& sigma, int n) {
+  if (static_cast<int>(sigma.size()) != n) {
+    throw std::invalid_argument("wire permutation has the wrong size");
+  }
+  std::uint64_t seen = 0;
+  for (const int v : sigma) {
+    if (v < 0 || v >= n || ((seen >> v) & 1u) != 0) {
+      throw std::invalid_argument("wire relabeling is not a permutation");
+    }
+    seen |= std::uint64_t{1} << v;
+  }
+}
+
+std::vector<int> inverse_of(const std::vector<int>& sigma) {
+  std::vector<int> inv(sigma.size());
+  for (std::size_t i = 0; i < sigma.size(); ++i) {
+    inv[sigma[i]] = static_cast<int>(i);
+  }
+  return inv;
+}
+
+std::vector<int> identity_perm(int n) {
+  std::vector<int> id(n);
+  for (int i = 0; i < n; ++i) id[i] = i;
+  return id;
+}
+
+/// The conjugated image vector built directly (no TruthTable revalidation
+/// on the canonicalizer's inner loop).
+std::vector<std::uint64_t> conjugate_image(
+    const std::vector<std::uint64_t>& image, const std::vector<int>& sigma) {
+  std::vector<std::uint64_t> out(image.size());
+  for (std::uint64_t x = 0; x < image.size(); ++x) {
+    out[permute_bits(x, sigma)] = permute_bits(image[x], sigma);
+  }
+  return out;
+}
+
+/// Per-wire relabeling invariant: for every input Hamming weight w, how
+/// often output bit i is 1 and how often it differs from input bit i.
+/// Conjugation by sigma carries wire i's signature to wire sigma[i]
+/// unchanged (weight-w inputs map onto weight-w inputs), so only
+/// signature-compatible relabelings can reach the orbit minimum — the
+/// pruning that keeps n > exact_max_vars tractable (docs/caching.md).
+using WireSignature = std::vector<std::uint32_t>;
+
+std::vector<WireSignature> wire_signatures(
+    const std::vector<std::uint64_t>& image, int n) {
+  std::vector<WireSignature> sigs(
+      n, WireSignature(2 * static_cast<std::size_t>(n + 1), 0));
+  for (std::uint64_t x = 0; x < image.size(); ++x) {
+    const int w = std::popcount(x);
+    const std::uint64_t y = image[x];
+    for (int i = 0; i < n; ++i) {
+      const std::uint32_t out_bit = (y >> i) & 1u;
+      sigs[i][w] += out_bit;
+      sigs[i][n + 1 + w] += out_bit ^ static_cast<std::uint32_t>((x >> i) & 1u);
+    }
+  }
+  return sigs;
+}
+
+/// Wires holding equal signatures, plus the consecutive positions (in
+/// signature-sorted order) they may occupy in the representative.
+struct SignatureBlock {
+  std::vector<int> members;    // ascending; permuted during enumeration
+  std::vector<int> positions;  // ascending, |positions| == |members|
+};
+
+/// Groups wires into signature blocks, sorted by signature so every orbit
+/// member derives the identical block/position structure. A single block
+/// containing every wire enumerates all n! relabelings — the exact scan
+/// reuses this machinery with signatures disabled.
+std::vector<SignatureBlock> signature_blocks(
+    const std::vector<std::uint64_t>& image, int n, bool use_signatures) {
+  std::vector<SignatureBlock> blocks;
+  if (!use_signatures) {
+    SignatureBlock all;
+    all.members = identity_perm(n);
+    all.positions = all.members;
+    blocks.push_back(std::move(all));
+    return blocks;
+  }
+  const std::vector<WireSignature> sigs = wire_signatures(image, n);
+  std::vector<int> order = identity_perm(n);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (sigs[a] != sigs[b]) return sigs[a] < sigs[b];
+    return a < b;
+  });
+  for (int pos = 0; pos < n; ++pos) {
+    const int wire = order[pos];
+    if (blocks.empty() ||
+        sigs[blocks.back().members.front()] != sigs[wire]) {
+      blocks.emplace_back();
+    }
+    blocks.back().members.push_back(wire);
+    blocks.back().positions.push_back(pos);
+  }
+  return blocks;
+}
+
+/// Product of |block|! with saturation at `cap + 1`.
+std::uint64_t count_candidates(const std::vector<SignatureBlock>& blocks,
+                               std::uint64_t cap) {
+  std::uint64_t total = 1;
+  for (const SignatureBlock& b : blocks) {
+    for (std::uint64_t k = 2; k <= b.members.size(); ++k) {
+      if (total > cap / k) return cap + 1;
+      total *= k;
+    }
+  }
+  return total;
+}
+
+struct Best {
+  std::vector<std::uint64_t> image;
+  std::vector<int> sigma;
+  bool inverted = false;
+};
+
+/// Scans every signature-consistent relabeling of `image` and folds the
+/// lexicographically smallest conjugate into `best`.
+void scan_side(const std::vector<std::uint64_t>& image, int n, bool inverted,
+               bool use_signatures, Best& best) {
+  std::vector<SignatureBlock> blocks =
+      signature_blocks(image, n, use_signatures);
+  std::vector<int> sigma(n);
+  while (true) {
+    for (const SignatureBlock& b : blocks) {
+      for (std::size_t j = 0; j < b.members.size(); ++j) {
+        sigma[b.members[j]] = b.positions[j];
+      }
+    }
+    std::vector<std::uint64_t> candidate = conjugate_image(image, sigma);
+    if (best.image.empty() || candidate < best.image) {
+      best.image = std::move(candidate);
+      best.sigma = sigma;
+      best.inverted = inverted;
+    }
+    // Odometer over per-block permutations: advance the first block that
+    // has a next permutation, resetting the wrapped ones.
+    std::size_t b = 0;
+    while (b < blocks.size() &&
+           !std::next_permutation(blocks[b].members.begin(),
+                                  blocks[b].members.end())) {
+      ++b;  // wrapped back to sorted order; carry into the next block
+    }
+    if (b == blocks.size()) break;
+  }
+}
+
+std::uint64_t key_of(const TruthTable& representative) {
+  return pprm_of_truth_table(representative).hash();
+}
+
+}  // namespace
+
+TruthTable conjugate(const TruthTable& f, const std::vector<int>& sigma) {
+  check_permutation(sigma, f.num_vars());
+  return TruthTable(conjugate_image(f.image(), sigma));
+}
+
+CanonicalForm canonicalize(const TruthTable& spec,
+                           const CanonicalOptions& options) {
+  const int n = spec.num_vars();
+  CanonicalForm out;
+  out.representative = spec;
+  out.transform.sigma = identity_perm(n);
+  out.transform.inverted = false;
+
+  if (n < 1 || n > options.max_vars) {
+    // Identity orbit: the cache still deduplicates exact resubmissions.
+    out.key = key_of(out.representative);
+    return out;
+  }
+
+  const bool use_signatures = n > options.exact_max_vars;
+  if (use_signatures) {
+    // The candidate budget must be judged for both sides — the signature
+    // multisets of pi and pi^-1 generally differ — and the fallback must
+    // trigger symmetrically or orbit members would disagree on their key.
+    const TruthTable inv = spec.inverse();
+    if (count_candidates(signature_blocks(spec.image(), n, true),
+                         options.max_candidates) > options.max_candidates ||
+        count_candidates(signature_blocks(inv.image(), n, true),
+                         options.max_candidates) > options.max_candidates) {
+      out.key = key_of(out.representative);
+      return out;
+    }
+  }
+
+  Best best;
+  scan_side(spec.image(), n, /*inverted=*/false, use_signatures, best);
+  scan_side(spec.inverse().image(), n, /*inverted=*/true, use_signatures,
+            best);
+
+  out.representative = TruthTable(std::move(best.image));
+  out.transform.sigma = std::move(best.sigma);
+  out.transform.inverted = best.inverted;
+  out.key = key_of(out.representative);
+  return out;
+}
+
+Circuit reconstruct_circuit(const Circuit& canonical_circuit,
+                            const OrbitTransform& transform) {
+  check_permutation(transform.sigma, canonical_circuit.num_lines());
+  Circuit c = canonical_circuit.relabel_wires(inverse_of(transform.sigma));
+  return transform.inverted ? c.inverse() : c;
+}
+
+Circuit canonical_circuit_of(const Circuit& circuit,
+                             const OrbitTransform& transform) {
+  check_permutation(transform.sigma, circuit.num_lines());
+  const Circuit base = transform.inverted ? circuit.inverse() : circuit;
+  return base.relabel_wires(transform.sigma);
+}
+
+TruthTable reconstruct_spec(const TruthTable& representative,
+                            const OrbitTransform& transform) {
+  const TruthTable conj =
+      conjugate(representative, inverse_of(transform.sigma));
+  return transform.inverted ? conj.inverse() : conj;
+}
+
+}  // namespace rmrls

@@ -1,0 +1,109 @@
+/// \file canonical.hpp
+/// \brief Canonical orbit representatives of reversible functions under
+/// wire relabeling and inversion (docs/caching.md).
+///
+/// Two specs that differ only by a renaming of input/output wires, or by
+/// functional inversion, are the *same* synthesis problem: a circuit for
+/// sigma o pi o sigma^-1 becomes a circuit for pi by relabeling its lines
+/// (permutation-group conjugation, cf. "Application of Permutation Group
+/// Theory in Reversible Logic Synthesis"), and Toffoli cascades invert by
+/// reversal (Maslov/Dueck/Miller). canonicalize() maps a spec to the
+/// lexicographically minimal member of its orbit
+///
+///     { P_sigma o pi^{+-1} o P_sigma^-1 : sigma in S_n }
+///
+/// together with the transform needed to rebuild a circuit for the
+/// original spec from one for the representative. One cached circuit per
+/// orbit then serves up to 2 * n! equivalent requests
+/// (core/synth_cache.hpp).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rev/circuit.hpp"
+#include "rev/truth_table.hpp"
+
+namespace rmrls {
+
+/// Knobs of canonicalize(). Defaults keep the scan exact where it is cheap
+/// and signature-pruned where it is not; beyond `max_vars` the orbit
+/// degenerates to the spec itself (identity transform, self hash).
+struct CanonicalOptions {
+  /// Widest spec scanned over all n! relabelings (exact lexicographic
+  /// minimum over the full orbit). 6! = 720 candidates.
+  int exact_max_vars = 6;
+
+  /// Widest spec eligible for orbit canonicalization at all (the CLI's
+  /// --canonical-cap). Above it the representative is the spec itself, so
+  /// the cache still deduplicates exact resubmissions, just not orbits.
+  int max_vars = 12;
+
+  /// Ceiling on signature-consistent relabelings tried above
+  /// `exact_max_vars`. Highly symmetric specs (every wire signature equal)
+  /// would degenerate to n!; past this budget the canonicalizer falls back
+  /// to the identity orbit instead of stalling the request path.
+  std::uint64_t max_candidates = 40320;  // 8!
+};
+
+/// How to turn a circuit for the canonical representative back into one
+/// for the original spec (and vice versa). `sigma` is the wire relabeling
+/// with representative = P_sigma o spec' o P_sigma^-1 where spec' is the
+/// spec or, when `inverted`, its functional inverse.
+struct OrbitTransform {
+  std::vector<int> sigma;  ///< line i of spec' is line sigma[i] of the rep
+  bool inverted = false;   ///< the rep canonicalizes spec^-1, not spec
+
+  /// True when reconstruction is a no-op (rep == spec).
+  [[nodiscard]] bool is_identity() const {
+    if (inverted) return false;
+    for (std::size_t i = 0; i < sigma.size(); ++i) {
+      if (sigma[i] != static_cast<int>(i)) return false;
+    }
+    return true;
+  }
+};
+
+/// A spec reduced to its orbit representative. `key` is the Pprm::hash()
+/// of the representative's PPRM expansion — the same hash family (seeded
+/// by kSystemHashSeed / fold_output_hash) the search engines' sparse and
+/// dense transposition tables agree on, so every layer of the system keys
+/// one function the same way.
+struct CanonicalForm {
+  TruthTable representative;
+  OrbitTransform transform;
+  std::uint64_t key = 0;
+};
+
+/// Canonicalizes `spec`: exact minimal scan for n <= exact_max_vars,
+/// signature-pruned scan up to max_vars, identity orbit beyond. Every
+/// member of one orbit maps to the same representative and key (the
+/// property tests/test_canonical.cpp pins across both scan regimes).
+[[nodiscard]] CanonicalForm canonicalize(const TruthTable& spec,
+                                         const CanonicalOptions& options = {});
+
+/// The conjugated function P_sigma o f o P_sigma^-1: wire i of `f` becomes
+/// wire sigma[i]. Throws std::invalid_argument unless `sigma` is a
+/// permutation of 0..n-1.
+[[nodiscard]] TruthTable conjugate(const TruthTable& f,
+                                   const std::vector<int>& sigma);
+
+/// Rebuilds a circuit for the *original* spec from a circuit realizing the
+/// canonical representative: relabel by sigma^-1, then mirror if the orbit
+/// entered through the inverse.
+[[nodiscard]] Circuit reconstruct_circuit(const Circuit& canonical_circuit,
+                                          const OrbitTransform& transform);
+
+/// Forward direction: turns a circuit for the original spec into one for
+/// the representative (what the single-shot CLI inserts into the cache, so
+/// the emitted circuit itself stays untouched by caching).
+[[nodiscard]] Circuit canonical_circuit_of(const Circuit& circuit,
+                                           const OrbitTransform& transform);
+
+/// Applies the inverse transform to the representative, recovering the
+/// original spec (the truth-table-level round-trip the tests check).
+[[nodiscard]] TruthTable reconstruct_spec(const TruthTable& representative,
+                                          const OrbitTransform& transform);
+
+}  // namespace rmrls

@@ -85,6 +85,28 @@ Circuit Circuit::inverse() const {
   return inv;
 }
 
+Circuit Circuit::relabel_wires(const std::vector<int>& perm) const {
+  if (static_cast<int>(perm.size()) != num_lines_) {
+    throw std::invalid_argument("wire permutation has the wrong size");
+  }
+  std::uint64_t seen = 0;
+  for (const int v : perm) {
+    if (v < 0 || v >= num_lines_ || ((seen >> v) & 1u) != 0) {
+      throw std::invalid_argument("wire relabeling is not a permutation");
+    }
+    seen |= std::uint64_t{1} << v;
+  }
+  Circuit out(num_lines_);
+  for (const Gate& g : gates_) {
+    Cube controls = kConstOne;
+    for (int v = 0; v < num_lines_; ++v) {
+      if (cube_has_var(g.controls, v)) controls |= cube_of_var(perm[v]);
+    }
+    out.append(Gate(controls, perm[g.target]));
+  }
+  return out;
+}
+
 Circuit Circuit::then(const Circuit& tail) const {
   if (tail.num_lines_ != num_lines_) {
     throw std::invalid_argument("concatenating circuits of different width");

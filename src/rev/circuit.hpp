@@ -52,6 +52,13 @@ class Circuit {
   /// so this is the functional inverse.
   [[nodiscard]] Circuit inverse() const;
 
+  /// The same cascade with line `i` renamed to `perm[i]` (controls and
+  /// targets alike). Realizes the conjugated function
+  /// P_perm o f o P_perm^-1, the wire-relabeling half of the orbit cache
+  /// (rev/canonical.hpp). Throws std::invalid_argument unless `perm` is a
+  /// permutation of 0..num_lines-1.
+  [[nodiscard]] Circuit relabel_wires(const std::vector<int>& perm) const;
+
   /// Concatenation: `this` followed by `tail`.
   [[nodiscard]] Circuit then(const Circuit& tail) const;
 

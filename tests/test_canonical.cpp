@@ -1,0 +1,170 @@
+// Tests for the orbit canonicalizer (rev/canonical.hpp): round-trips,
+// orbit-invariance of the key across both scan regimes, the fallback
+// behaviours, and concurrent use.
+
+#include "rev/canonical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "rev/equivalence.hpp"
+#include "rev/random.hpp"
+
+namespace rmrls {
+namespace {
+
+std::vector<int> random_sigma(int n, std::mt19937_64& rng) {
+  std::vector<int> sigma(n);
+  std::iota(sigma.begin(), sigma.end(), 0);
+  std::shuffle(sigma.begin(), sigma.end(), rng);
+  return sigma;
+}
+
+TEST(Canonical, ConjugateRelabelsWires) {
+  // f(x) = x ^ 1 flips wire 0; conjugating by sigma with sigma[0] = 2 must
+  // yield x ^ 4.
+  TruthTable f({1, 0, 3, 2, 5, 4, 7, 6});
+  const TruthTable g = conjugate(f, {2, 0, 1});
+  for (std::uint64_t x = 0; x < 8; ++x) EXPECT_EQ(g(x), x ^ 4u);
+  EXPECT_THROW((void)conjugate(f, {0, 1}), std::invalid_argument);
+  EXPECT_THROW((void)conjugate(f, {0, 0, 1}), std::invalid_argument);
+}
+
+TEST(Canonical, SpecRoundTripsThroughTransform) {
+  std::mt19937_64 rng(1001);
+  for (int n = 3; n <= 8; ++n) {
+    for (int rep = 0; rep < 8; ++rep) {
+      const TruthTable spec = random_reversible_function(n, rng);
+      const CanonicalForm form = canonicalize(spec);
+      EXPECT_EQ(reconstruct_spec(form.representative, form.transform), spec)
+          << "n=" << n << " rep=" << rep;
+    }
+  }
+}
+
+TEST(Canonical, CircuitRoundTripsToEquivalence) {
+  // A circuit for the representative, reconstructed through the transform,
+  // must realize the original function exactly — the property the cache
+  // relies on for every hit.
+  std::mt19937_64 rng(1002);
+  for (int n = 3; n <= 8; ++n) {
+    for (int rep = 0; rep < 6; ++rep) {
+      const Circuit c = random_circuit(n, 3 * n, GateLibrary::kGT, rng);
+      const TruthTable spec = c.to_truth_table();
+      const CanonicalForm form = canonicalize(spec);
+      const Circuit canonical = canonical_circuit_of(c, form.transform);
+      EXPECT_EQ(canonical.to_truth_table(), form.representative);
+      const Circuit rebuilt = reconstruct_circuit(canonical, form.transform);
+      EXPECT_TRUE(equivalent(rebuilt, c)) << "n=" << n << " rep=" << rep;
+    }
+  }
+}
+
+TEST(Canonical, OrbitMembersShareRepresentativeAndKey) {
+  // Random conjugations and inversions of one spec must all canonicalize
+  // to the identical representative and key — in the exact regime
+  // (n <= 6) and the signature-pruned one (n = 7, 8) alike.
+  std::mt19937_64 rng(1003);
+  for (int n = 3; n <= 8; ++n) {
+    for (int rep = 0; rep < 4; ++rep) {
+      const TruthTable spec = random_reversible_function(n, rng);
+      const CanonicalForm base = canonicalize(spec);
+      for (int k = 0; k < 6; ++k) {
+        TruthTable member = conjugate(spec, random_sigma(n, rng));
+        if (rng() & 1u) member = member.inverse();
+        const CanonicalForm form = canonicalize(member);
+        EXPECT_EQ(form.representative, base.representative)
+            << "n=" << n << " rep=" << rep << " k=" << k;
+        EXPECT_EQ(form.key, base.key);
+        EXPECT_EQ(reconstruct_spec(form.representative, form.transform),
+                  member);
+      }
+    }
+  }
+}
+
+TEST(Canonical, RepresentativeIsAFixpoint) {
+  std::mt19937_64 rng(1004);
+  for (int n = 3; n <= 7; ++n) {
+    const TruthTable spec = random_reversible_function(n, rng);
+    const CanonicalForm form = canonicalize(spec);
+    const CanonicalForm again = canonicalize(form.representative);
+    EXPECT_EQ(again.representative, form.representative);
+    EXPECT_EQ(again.key, form.key);
+  }
+}
+
+TEST(Canonical, WidthCapFallsBackToIdentityOrbit) {
+  std::mt19937_64 rng(1005);
+  const TruthTable spec = random_reversible_function(5, rng);
+  CanonicalOptions options;
+  options.max_vars = 4;
+  const CanonicalForm form = canonicalize(spec, options);
+  EXPECT_TRUE(form.transform.is_identity());
+  EXPECT_EQ(form.representative, spec);
+  // Exact resubmission still keys identically.
+  EXPECT_EQ(canonicalize(spec, options).key, form.key);
+}
+
+TEST(Canonical, CandidateBudgetFallsBackToIdentityOrbit) {
+  // With a one-candidate budget in the signature regime, any spec whose
+  // signature blocks admit more than one relabeling must degrade to the
+  // identity orbit instead of scanning.
+  std::mt19937_64 rng(1006);
+  const TruthTable spec = random_reversible_function(7, rng);
+  CanonicalOptions options;
+  options.max_candidates = 0;
+  const CanonicalForm form = canonicalize(spec, options);
+  EXPECT_TRUE(form.transform.is_identity());
+  EXPECT_EQ(form.representative, spec);
+}
+
+TEST(Canonical, IdentityAndTrivialSpecs) {
+  const CanonicalForm id = canonicalize(TruthTable::identity(4));
+  EXPECT_EQ(id.representative, TruthTable::identity(4));
+  // One-variable orbit: NOT is its own representative under both group
+  // actions (the only sigma is the identity, and NOT is self-inverse).
+  const CanonicalForm not1 = canonicalize(TruthTable({1, 0}));
+  EXPECT_EQ(not1.representative, TruthTable({1, 0}));
+}
+
+TEST(Canonical, SingleWireFlipsShareOneOrbit) {
+  // x ^ 1, x ^ 2 and x ^ 4 on three wires are all relabelings of each
+  // other.
+  const auto flip = [](int bit) {
+    std::vector<std::uint64_t> image(8);
+    for (std::uint64_t x = 0; x < 8; ++x) {
+      image[x] = x ^ (std::uint64_t{1} << bit);
+    }
+    return TruthTable(std::move(image));
+  };
+  const std::uint64_t key = canonicalize(flip(0)).key;
+  EXPECT_EQ(canonicalize(flip(1)).key, key);
+  EXPECT_EQ(canonicalize(flip(2)).key, key);
+}
+
+TEST(Canonical, ConcurrentCanonicalizationIsRaceFree) {
+  // The canonicalizer is called from every batch worker concurrently; it
+  // must be a pure function of its arguments. Run under the tsan preset.
+  std::mt19937_64 rng(1007);
+  const TruthTable spec = random_reversible_function(6, rng);
+  const CanonicalForm expected = canonicalize(spec);
+  std::vector<std::thread> threads;
+  std::vector<std::uint64_t> keys(8, 0);
+  threads.reserve(keys.size());
+  for (std::size_t t = 0; t < keys.size(); ++t) {
+    threads.emplace_back([&spec, &keys, t] {
+      keys[t] = canonicalize(spec).key;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::uint64_t k : keys) EXPECT_EQ(k, expected.key);
+}
+
+}  // namespace
+}  // namespace rmrls

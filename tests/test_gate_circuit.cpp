@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
+#include <vector>
 
 #include "rev/circuit.hpp"
 #include "rev/pprm.hpp"
@@ -150,6 +152,55 @@ TEST(Circuit, MaxGateSize) {
   c.append(Gate(kConstOne, 0));
   c.append(Gate(cube_of_var(1) | cube_of_var(2) | cube_of_var(3), 0));
   EXPECT_EQ(c.max_gate_size(), 4);
+}
+
+TEST(Circuit, RelabelWiresRenamesControlsAndTargets) {
+  // TOF3(a, c; b) with a->c, b->a, c->b becomes TOF3(c, b; a).
+  Circuit c(3);
+  c.append(Gate(cube_of_var(0) | cube_of_var(2), 1));
+  const Circuit relabeled = c.relabel_wires({2, 0, 1});
+  EXPECT_EQ(relabeled.to_string(), "TOF3(b, c; a)");
+}
+
+TEST(Circuit, RelabelWiresRealizesConjugatedFunction) {
+  // Relabeling by sigma realizes P_sigma o f o P_sigma^-1: the simulation
+  // of the relabeled cascade commutes with the bit permutation.
+  std::mt19937_64 rng(15);
+  for (int n = 2; n <= 6; ++n) {
+    const Circuit c = random_circuit(n, 10, GateLibrary::kGT, rng);
+    std::vector<int> sigma(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) sigma[static_cast<std::size_t>(i)] = i;
+    std::shuffle(sigma.begin(), sigma.end(), rng);
+    const auto permute = [&](std::uint64_t x) {
+      std::uint64_t y = 0;
+      for (int i = 0; i < n; ++i) {
+        y |= ((x >> i) & 1u) << sigma[static_cast<std::size_t>(i)];
+      }
+      return y;
+    };
+    const Circuit relabeled = c.relabel_wires(sigma);
+    for (std::uint64_t x = 0; x < (std::uint64_t{1} << n); ++x) {
+      EXPECT_EQ(relabeled.simulate(permute(x)), permute(c.simulate(x)));
+    }
+  }
+}
+
+TEST(Circuit, RelabelWiresIdentityAndInverseCompose) {
+  std::mt19937_64 rng(16);
+  const Circuit c = random_circuit(4, 8, GateLibrary::kGT, rng);
+  EXPECT_EQ(c.relabel_wires({0, 1, 2, 3}), c);
+  // Applying sigma then sigma^-1 restores the cascade gate for gate.
+  const std::vector<int> sigma = {2, 3, 1, 0};
+  const std::vector<int> inverse = {3, 2, 0, 1};
+  EXPECT_EQ(c.relabel_wires(sigma).relabel_wires(inverse), c);
+}
+
+TEST(Circuit, RelabelWiresRejectsNonPermutations) {
+  const Circuit c(3);
+  EXPECT_THROW((void)c.relabel_wires({0, 1}), std::invalid_argument);
+  EXPECT_THROW((void)c.relabel_wires({0, 1, 1}), std::invalid_argument);
+  EXPECT_THROW((void)c.relabel_wires({0, 1, 3}), std::invalid_argument);
+  EXPECT_THROW((void)c.relabel_wires({0, 1, -1}), std::invalid_argument);
 }
 
 TEST(Circuit, ToStringMatchesPaperStyle) {

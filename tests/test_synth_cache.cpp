@@ -1,0 +1,315 @@
+// Tests for the sharded orbit cache (core/synth_cache.hpp) and the batch
+// driver built on it (core/batch.hpp): LRU eviction under the byte budget,
+// the on-disk store across a cold restart, single-flight deduplication
+// under contention, the two-level thread split, and the batch counters'
+// invariants.
+
+#include "core/synth_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "rev/equivalence.hpp"
+#include "rev/random.hpp"
+
+namespace rmrls {
+namespace {
+
+Circuit toy_circuit(int lines, int seed) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(seed));
+  return random_circuit(lines, 4, GateLibrary::kGT, rng);
+}
+
+std::string fresh_dir(const char* name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+TEST(SynthCache, InsertLookupRoundTrip) {
+  SynthCache cache(SynthCacheOptions{});
+  EXPECT_FALSE(cache.lookup(42).has_value());
+  const Circuit c = toy_circuit(4, 1);
+  cache.insert(42, c);
+  const auto hit = cache.lookup(42);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, c);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.entry_count(), 1u);
+}
+
+TEST(SynthCache, ByteBudgetEvictsLeastRecentlyUsed) {
+  SynthCacheOptions options;
+  options.shards = 1;           // deterministic: one LRU list
+  options.byte_budget = 2000;   // a handful of toy circuits
+  SynthCache cache(options);
+  const int kKeys = 64;
+  for (int k = 0; k < kKeys; ++k) cache.insert(k, toy_circuit(4, k));
+  EXPECT_GT(cache.stats().evictions, 0u);
+  EXPECT_LT(cache.entry_count(), static_cast<std::size_t>(kKeys));
+  EXPECT_LE(cache.bytes_used(), options.byte_budget);
+  // The most recent key must have survived; the oldest must be gone.
+  EXPECT_TRUE(cache.lookup(kKeys - 1).has_value());
+  EXPECT_FALSE(cache.lookup(0).has_value());
+}
+
+TEST(SynthCache, OversizedEntryStillInserts) {
+  SynthCacheOptions options;
+  options.shards = 1;
+  options.byte_budget = 1;  // below any single entry's cost
+  SynthCache cache(options);
+  cache.insert(7, toy_circuit(4, 7));
+  // The freshest entry is exempt from eviction, so the cache still serves.
+  EXPECT_TRUE(cache.lookup(7).has_value());
+  EXPECT_EQ(cache.entry_count(), 1u);
+}
+
+TEST(SynthCache, ReinsertUpdatesInPlace) {
+  SynthCache cache(SynthCacheOptions{});
+  cache.insert(5, toy_circuit(4, 1));
+  const Circuit replacement = toy_circuit(4, 2);
+  cache.insert(5, replacement);
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_EQ(*cache.lookup(5), replacement);
+}
+
+TEST(SynthCache, DiskStoreSurvivesRestart) {
+  const std::string dir = fresh_dir("synth_cache_disk");
+  const Circuit c = toy_circuit(5, 9);
+  {
+    SynthCacheOptions options;
+    options.dir = dir;
+    SynthCache cache(options);
+    cache.insert(0xabcdef, c);
+  }
+  // A cold cache over the same directory revives the entry from disk and
+  // the revived circuit is gate-for-gate identical (.tfc round-trip).
+  SynthCacheOptions options;
+  options.dir = dir;
+  SynthCache cache(options);
+  const auto hit = cache.lookup(0xabcdef);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, c);
+  EXPECT_EQ(cache.stats().disk_hits, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SynthCache, CorruptDiskEntryDegradesToMiss) {
+  const std::string dir = fresh_dir("synth_cache_corrupt");
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream out(std::filesystem::path(dir) /
+                      "00000000000000ff.tfc");
+    out << "this is not a tfc file\n";
+  }
+  SynthCacheOptions options;
+  options.dir = dir;
+  SynthCache cache(options);
+  EXPECT_FALSE(cache.lookup(0xff).has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SynthCache, SingleFlightElectsOneLeader) {
+  SynthCache cache(SynthCacheOptions{});
+  const Circuit c = toy_circuit(4, 3);
+  constexpr int kThreads = 8;
+  std::atomic<int> leaders{0};
+  std::atomic<int> followers_with_result{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      SynthCache::Acquisition acq = cache.acquire(99);
+      if (acq.outcome == SynthCache::Outcome::kLead) {
+        leaders.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        cache.publish(99, &c);
+      } else if (acq.circuit.has_value() && *acq.circuit == c) {
+        followers_with_result.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(leaders.load(), 1);
+  EXPECT_EQ(followers_with_result.load(), kThreads - 1);
+  EXPECT_TRUE(cache.lookup(99).has_value());
+}
+
+TEST(SynthCache, FailedLeaderReleasesFollowersEmptyHanded) {
+  SynthCache cache(SynthCacheOptions{});
+  SynthCache::Acquisition lead = cache.acquire(7);
+  ASSERT_EQ(lead.outcome, SynthCache::Outcome::kLead);
+  std::thread follower([&] {
+    SynthCache::Acquisition acq = cache.acquire(7);
+    EXPECT_EQ(acq.outcome, SynthCache::Outcome::kFollow);
+    EXPECT_FALSE(acq.circuit.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  cache.publish(7, nullptr);  // synthesis failed; nothing stored
+  follower.join();
+  // The key is cold again: the next acquire leads.
+  EXPECT_EQ(cache.acquire(7).outcome, SynthCache::Outcome::kLead);
+  cache.publish(7, nullptr);
+}
+
+TEST(ThreadSplit, JobsGetPriorityAndSearchKeepsTheRemainder) {
+  // 8 threads over 4 jobs: 4 concurrent jobs, 2 search workers each.
+  EXPECT_EQ(split_threads(8, 0, 4).batch_threads, 4);
+  EXPECT_EQ(split_threads(8, 0, 4).search_threads, 2);
+  // More jobs than threads: every thread runs jobs, searches stay
+  // sequential.
+  EXPECT_EQ(split_threads(4, 0, 100).batch_threads, 4);
+  EXPECT_EQ(split_threads(4, 0, 100).search_threads, 1);
+  // An explicit batch level wins, clamped to the job count.
+  EXPECT_EQ(split_threads(8, 2, 4).batch_threads, 2);
+  EXPECT_EQ(split_threads(8, 2, 4).search_threads, 4);
+  EXPECT_EQ(split_threads(8, 16, 4).batch_threads, 4);
+  EXPECT_EQ(split_threads(1, 0, 0).batch_threads, 1);
+  EXPECT_GE(split_threads(0, 0, 4).batch_threads, 1);  // 0 = hardware
+}
+
+std::vector<BatchJob> orbit_heavy_jobs(int n, int unique, int copies,
+                                       std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<BatchJob> jobs;
+  std::vector<TruthTable> bases;
+  for (int u = 0; u < unique; ++u) {
+    bases.push_back(random_reversible_function(n, rng));
+  }
+  for (int c = 0; c < copies; ++c) {
+    for (int u = 0; u < unique; ++u) {
+      TruthTable t = bases[static_cast<std::size_t>(u)];
+      if (c > 0) {
+        std::vector<int> sigma(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i) sigma[static_cast<std::size_t>(i)] = i;
+        std::shuffle(sigma.begin(), sigma.end(), rng);
+        t = conjugate(t, sigma);
+        if (rng() & 1u) t = t.inverse();
+      }
+      jobs.push_back(BatchJob{
+          "job" + std::to_string(jobs.size()), std::move(t)});
+    }
+  }
+  return jobs;
+}
+
+TEST(Batch, EveryOutcomeIsVerifiedAgainstItsOwnSpec) {
+  const std::vector<BatchJob> jobs = orbit_heavy_jobs(3, 4, 3, 11);
+  SynthCache cache(SynthCacheOptions{});
+  BatchOptions options;
+  options.total_threads = 4;
+  options.cache = &cache;
+  const BatchResult result = run_batch(jobs, options);
+  EXPECT_TRUE(result.status.ok());
+  ASSERT_EQ(result.outcomes.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const BatchJobOutcome& out = result.outcomes[i];
+    EXPECT_TRUE(out.status.ok()) << out.name;
+    EXPECT_TRUE(out.verified);
+    EXPECT_EQ(out.result.circuit.to_truth_table(), jobs[i].spec) << out.name;
+  }
+}
+
+TEST(Batch, CountersRespectTheirInvariants) {
+  const std::vector<BatchJob> jobs = orbit_heavy_jobs(3, 3, 4, 12);
+  SynthCache cache(SynthCacheOptions{});
+  BatchOptions options;
+  options.total_threads = 4;
+  options.cache = &cache;
+  const BatchResult result = run_batch(jobs, options);
+  const BatchStats& s = result.stats;
+  EXPECT_EQ(s.jobs, jobs.size());
+  EXPECT_EQ(s.completed + s.failed, s.jobs);
+  EXPECT_LE(s.cache_orbit_hits, s.cache_hits);
+  EXPECT_LE(s.cache_hits + s.cache_misses + s.batch_dedup, s.jobs);
+  // 3 orbits, 12 jobs: at most one synthesis per orbit plus collisions.
+  EXPECT_GE(s.cache_hits + s.batch_dedup, s.jobs - 3 * 2);
+  EXPECT_GT(s.cache_hits, 0u);
+}
+
+TEST(Batch, CachelessRunMatchesSingleShotSynthesis) {
+  // Without a cache the driver must behave like per-job
+  // synthesize_resilient on the original spec (the --cache-mb 0
+  // bit-identity guarantee).
+  std::mt19937_64 rng(13);
+  std::vector<BatchJob> jobs;
+  for (int i = 0; i < 3; ++i) {
+    jobs.push_back(
+        BatchJob{"j" + std::to_string(i), random_reversible_function(3, rng)});
+  }
+  BatchOptions options;
+  options.total_threads = 1;
+  const BatchResult result = run_batch(jobs, options);
+  EXPECT_TRUE(result.status.ok());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const ResilientResult single = synthesize_resilient(jobs[i].spec, {});
+    EXPECT_EQ(result.outcomes[i].result.circuit, single.result.circuit);
+  }
+  EXPECT_EQ(result.stats.cache_hits, 0u);
+  EXPECT_EQ(result.stats.cache_misses, jobs.size());
+}
+
+TEST(Batch, SharedDeadlineCancelsUnstartedJobs) {
+  // A pre-fired token (as the SIGINT handler would leave it) fails every
+  // job with kCancelled without running any engine.
+  std::mt19937_64 rng(14);
+  std::vector<BatchJob> jobs;
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back(
+        BatchJob{"j" + std::to_string(i), random_reversible_function(4, rng)});
+  }
+  CancelToken token;
+  token.cancel(CancelReason::kUser);
+  BatchOptions options;
+  options.cancel_token = &token;
+  const BatchResult result = run_batch(jobs, options);
+  EXPECT_EQ(result.status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(result.stats.failed, jobs.size());
+  for (const BatchJobOutcome& out : result.outcomes) {
+    EXPECT_EQ(out.status.code(), StatusCode::kCancelled);
+  }
+}
+
+TEST(Batch, EmptyBatchIsInvalidArgument) {
+  const BatchResult result = run_batch({}, {});
+  EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Batch, WarmDiskCacheServesASecondBatch) {
+  const std::string dir = fresh_dir("batch_disk");
+  const std::vector<BatchJob> jobs = orbit_heavy_jobs(3, 3, 2, 15);
+  SynthCacheOptions copts;
+  copts.dir = dir;
+  BatchStats first;
+  {
+    SynthCache cache(copts);
+    BatchOptions options;
+    options.cache = &cache;
+    first = run_batch(jobs, options).stats;
+  }
+  ASSERT_GT(first.cache_misses, 0u);
+  // A cold in-memory cache over the same directory: every orbit is served
+  // from disk, so nothing synthesizes again.
+  SynthCache cache(copts);
+  BatchOptions options;
+  options.cache = &cache;
+  const BatchResult second = run_batch(jobs, options);
+  EXPECT_TRUE(second.status.ok());
+  EXPECT_EQ(second.stats.cache_misses, 0u);
+  EXPECT_EQ(second.stats.cache_hits, jobs.size());
+  EXPECT_GT(cache.stats().disk_hits, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace rmrls

@@ -110,6 +110,53 @@ bool check_record(const std::string& line, const std::string& where) {
       return false;
     }
   }
+  // Optional cache / batch fields (docs/caching.md). Single-shot records
+  // carry cache_hits/cache_misses when a cache was armed; a batch summary
+  // record additionally carries batch_jobs and the orbit/dedup counters
+  // with their invariants.
+  const JsonValue* cache_hits = parsed->find("cache_hits");
+  const JsonValue* cache_misses = parsed->find("cache_misses");
+  if ((cache_hits == nullptr) != (cache_misses == nullptr)) {
+    std::cerr << where
+              << ": cache_hits and cache_misses must appear together\n";
+    return false;
+  }
+  if (cache_hits != nullptr &&
+      (!cache_hits->is_number() || cache_hits->number < 0 ||
+       !cache_misses->is_number() || cache_misses->number < 0)) {
+    std::cerr << where
+              << ": cache_hits/cache_misses are not non-negative numbers\n";
+    return false;
+  }
+  const JsonValue* batch_jobs = parsed->find("batch_jobs");
+  if (batch_jobs != nullptr) {
+    if (!batch_jobs->is_number() || batch_jobs->number < 1) {
+      std::cerr << where << ": batch_jobs is not a number >= 1\n";
+      return false;
+    }
+    const JsonValue* orbit_hits = parsed->find("cache_orbit_hits");
+    const JsonValue* dedup = parsed->find("batch_dedup");
+    if (cache_hits == nullptr || orbit_hits == nullptr || dedup == nullptr ||
+        !orbit_hits->is_number() || orbit_hits->number < 0 ||
+        !dedup->is_number() || dedup->number < 0) {
+      std::cerr << where
+                << ": batch record lacks non-negative cache_hits/"
+                   "cache_misses/cache_orbit_hits/batch_dedup\n";
+      return false;
+    }
+    if (orbit_hits->number > cache_hits->number) {
+      std::cerr << where << ": cache_orbit_hits (" << orbit_hits->number
+                << ") exceeds cache_hits (" << cache_hits->number << ")\n";
+      return false;
+    }
+    if (cache_hits->number + cache_misses->number + dedup->number >
+        batch_jobs->number) {
+      std::cerr << where
+                << ": cache_hits + cache_misses + batch_dedup exceeds"
+                   " batch_jobs\n";
+      return false;
+    }
+  }
   // Optional per-shard transposition hit counts (parallel engine only):
   // an array of non-negative numbers whose sum cannot exceed the total
   // duplicate prunes (sequential passes of the same run may add more).

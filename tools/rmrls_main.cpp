@@ -13,12 +13,16 @@
 #include <string>
 
 #include "bench_suite/registry.hpp"
+#include "core/batch.hpp"
 #include "core/cancel.hpp"
 #include "core/resilient.hpp"
 #include "core/status.hpp"
+#include "core/synth_cache.hpp"
 #include "core/synthesizer.hpp"
 #include "io/spec.hpp"
 #include "io/tfc.hpp"
+#include "rev/canonical.hpp"
+#include "rev/equivalence.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase_profile.hpp"
 #include "obs/trace.hpp"
@@ -39,13 +43,17 @@ void handle_sigint(int) { g_cancel.cancel(rmrls::CancelReason::kUser); }
 
 void help(const char* argv0, std::ostream& os) {
   os << "usage: " << argv0
-     << " (--perm SPEC | --spec FILE | --benchmark NAME | --resynth FILE"
-        " | --list) [options]\n"
+     << " (--perm SPEC | --spec FILE | --batch FILE | --benchmark NAME"
+        " | --resynth FILE | --list) [options]\n"
         "\n"
         "Input (exactly one):\n"
         "  --perm SPEC        inline permutation, e.g. \"{1, 0, 7, 2, 3, 4,"
         " 5, 6}\"\n"
         "  --spec FILE        permutation spec file (same syntax)\n"
+        "  --batch FILE       spec-list file: one permutation per line,"
+        " '#'\n"
+        "                     comments; jobs run concurrently through the\n"
+        "                     orbit cache (docs/caching.md)\n"
         "  --benchmark NAME   named function from the paper's suite\n"
         "  --resynth FILE     resynthesize an existing .tfc cascade\n"
         "  --list             list benchmark names and exit\n"
@@ -82,6 +90,25 @@ void help(const char* argv0, std::ostream& os) {
         "  --tt / --no-tt     transposition table on/off\n"
         "  --cumul / --stage-elim\n"
         "                     cumulative vs per-stage elimination priority\n"
+        "\n"
+        "Caching and batch throughput (docs/caching.md):\n"
+        "  --cache-mb N       in-memory orbit-cache budget in MiB (0 ="
+        " off;\n"
+        "                     default 64 in --batch mode, otherwise 0, or"
+        " 64\n"
+        "                     when --cache-dir is given)\n"
+        "  --cache-dir DIR    on-disk circuit store (one .tfc per"
+        " canonical\n"
+        "                     key); persists cache entries across runs\n"
+        "  --canonical-cap N  widest spec (in variables) canonicalized to"
+        " its\n"
+        "                     orbit representative (default 12); wider"
+        " specs\n"
+        "                     are cached by exact identity only\n"
+        "  --batch-threads N  concurrent jobs in --batch mode (0 = auto:\n"
+        "                     min(jobs, --threads), leftover threads go to\n"
+        "                     each search; docs/parallelism.md). --time-ms\n"
+        "                     bounds the *whole batch* under one watchdog.\n"
         "\n"
         "Resilience (docs/robustness.md):\n"
         "  --resilient        fallback cascade: best-first, then greedy,\n"
@@ -169,6 +196,11 @@ int main(int argc, char** argv) {
   std::string perm_text;
   std::string spec_file;
   std::string benchmark;
+  std::string batch_file;
+  std::string cache_dir;
+  long long cache_mb = -1;  // sentinel: 64 in batch / with --cache-dir, else 0
+  int canonical_cap = -1;
+  int batch_threads = 0;
   SynthesisOptions options;
   bool run_templates = false;
   bool run_fredkinize = false;
@@ -196,6 +228,19 @@ int main(int argc, char** argv) {
       spec_file = next();
     } else if (arg == "--benchmark") {
       benchmark = next();
+    } else if (arg == "--batch") {
+      batch_file = next();
+    } else if (arg == "--cache-dir") {
+      cache_dir = next();
+    } else if (arg == "--cache-mb") {
+      cache_mb = num_ll(arg, next());
+      if (cache_mb < 0) bad_number(arg, std::to_string(cache_mb));
+    } else if (arg == "--canonical-cap") {
+      canonical_cap = static_cast<int>(num_ll(arg, next()));
+      if (canonical_cap < 0) bad_number(arg, std::to_string(canonical_cap));
+    } else if (arg == "--batch-threads") {
+      batch_threads = static_cast<int>(num_ll(arg, next()));
+      if (batch_threads < 0) bad_number(arg, std::to_string(batch_threads));
     } else if (arg == "--list") {
       for (const std::string& name : suite::benchmark_names()) {
         std::cout << name << "\n";
@@ -311,6 +356,133 @@ int main(int argc, char** argv) {
       std::cerr << "error: " << status.to_string() << "\n";
       return exit_code_for(status.code());
     };
+
+    if (!batch_file.empty()) {
+      if (!perm_text.empty() || !spec_file.empty() || !benchmark.empty() ||
+          !tfc_file.empty()) {
+        std::cerr << "error: --batch cannot be combined with another input\n";
+        return usage(argv[0]);
+      }
+      std::ifstream in(batch_file);
+      if (!in) {
+        std::cerr << "error: cannot open " << batch_file << "\n";
+        return exit_code_for(StatusCode::kParseError);
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      Result<std::vector<NamedSpec>> parsed =
+          parse_permutation_batch_checked(buf.str(), batch_file);
+      if (!parsed.ok()) return input_error(parsed.status());
+
+      std::vector<BatchJob> jobs;
+      for (NamedSpec& s : parsed.value()) {
+        jobs.push_back(BatchJob{std::move(s.name), std::move(s.table)});
+      }
+
+      std::signal(SIGINT, handle_sigint);
+      BatchOptions bopts;
+      bopts.resilience.search = options;
+      bopts.resilience.search.time_limit = std::chrono::milliseconds{0};
+      bopts.total_threads = options.num_threads;
+      bopts.batch_threads = batch_threads;
+      bopts.deadline = options.time_limit;  // bounds the whole batch
+      bopts.use_watchdog = use_watchdog;
+      bopts.cancel_token = &g_cancel;
+      if (canonical_cap >= 0) bopts.canonical.max_vars = canonical_cap;
+      const long long mb = cache_mb < 0 ? 64 : cache_mb;
+      std::unique_ptr<SynthCache> cache;
+      if (mb > 0) {
+        SynthCacheOptions copts;
+        copts.byte_budget = static_cast<std::size_t>(mb) << 20;
+        copts.dir = cache_dir;
+        cache = std::make_unique<SynthCache>(std::move(copts));
+        bopts.cache = cache.get();
+      }
+
+      const BatchResult br = run_batch(jobs, bopts);
+
+      for (const BatchJobOutcome& out : br.outcomes) {
+        if (!out.status.ok()) {
+          std::cerr << out.name << ": " << out.status.to_string() << "\n";
+          continue;
+        }
+        if (emit_tfc) {
+          std::cout << "# " << out.name << "\n"
+                    << write_tfc(out.result.circuit);
+        } else {
+          std::cout << out.name << ": " << out.result.circuit.to_string()
+                    << "\n";
+        }
+      }
+      std::cerr << "batch: " << br.stats.jobs << " jobs, "
+                << br.stats.completed << " ok, " << br.stats.failed
+                << " failed, " << br.stats.cache_hits << " cache hits ("
+                << br.stats.cache_orbit_hits << " via orbit), "
+                << br.stats.cache_misses << " misses, "
+                << br.stats.batch_dedup << " deduped, "
+                << br.elapsed.count() << " us\n";
+
+      if (!metrics_file.empty()) {
+        std::ofstream out(metrics_file);
+        if (!out) {
+          std::cerr << "cannot open " << metrics_file << " for writing\n";
+          return 1;
+        }
+        MetricsWriter writer(out);
+        std::int64_t total_gates = 0;
+        std::int64_t total_cost = 0;
+        for (const BatchJobOutcome& job : br.outcomes) {
+          MetricsRegistry record;
+          record.set("name", job.name)
+              .set("vars", job.result.circuit.num_lines())
+              .set("success", job.status.ok());
+          record.add_stats(job.result.stats, job.result.termination);
+          record.set("fallback_engine",
+                     std::string_view(to_string(job.engine)));
+          record.set("verified", job.verified);
+          record.set("cache_hit", job.cache_hit)
+              .set("cache_orbit_hit", job.orbit_hit)
+              .set("batch_deduped", job.deduped);
+          if (job.status.ok()) {
+            record.add_circuit(job.result.circuit);
+            total_gates += job.result.circuit.gate_count();
+            total_cost +=
+                static_cast<std::int64_t>(quantum_cost(job.result.circuit));
+          } else {
+            record.set("gates", -1).set("quantum_cost", -1);
+          }
+          writer.write(record);
+        }
+        // One summary record carrying the batch-level counters; gates is
+        // the total across jobs so the success/gates invariant holds.
+        MetricsRegistry summary;
+        const bool ok = br.status.ok();
+        const TerminationReason summary_termination =
+            ok ? TerminationReason::kSolved
+            : br.status.code() == StatusCode::kCancelled
+                ? TerminationReason::kCancelled
+                : br.search_stats.watchdog_fired
+                      ? TerminationReason::kTimeLimit
+                      : TerminationReason::kQueueExhausted;
+        summary.set("name", batch_file).set("success", ok);
+        summary.add_stats(br.search_stats, summary_termination);
+        summary.set("batch_jobs", br.stats.jobs)
+            .set("batch_completed", br.stats.completed)
+            .set("batch_failed", br.stats.failed)
+            .set("cache_hits", br.stats.cache_hits)
+            .set("cache_misses", br.stats.cache_misses)
+            .set("cache_orbit_hits", br.stats.cache_orbit_hits)
+            .set("batch_dedup", br.stats.batch_dedup);
+        if (ok) {
+          summary.set("gates", total_gates).set("quantum_cost", total_cost);
+        } else {
+          summary.set("gates", -1).set("quantum_cost", -1);
+        }
+        writer.write(summary);
+      }
+      return exit_code_for(br.status.code());
+    }
+
     Pprm spec;
     std::string input_name;
     std::optional<TruthTable> table_spec;
@@ -368,11 +540,50 @@ int main(int argc, char** argv) {
     std::signal(SIGINT, handle_sigint);
     options.cancel_token = &g_cancel;
 
+    // Single-shot orbit cache (docs/caching.md): off unless sized
+    // explicitly or given a disk store; only permutation-table inputs
+    // canonicalize. A verified hit skips synthesis entirely; a miss
+    // synthesizes as before and inserts the *representative's* circuit
+    // (forward transform), so the emitted circuit is byte-identical to a
+    // cache-less run.
+    const long long single_mb =
+        cache_mb >= 0 ? cache_mb : (cache_dir.empty() ? 0 : 64);
+    std::unique_ptr<SynthCache> cache;
+    CanonicalForm canonical_form;
+    bool cache_enabled = false;
+    bool cache_hit = false;
+    if (single_mb > 0 && table_spec.has_value()) {
+      SynthCacheOptions copts;
+      copts.byte_budget = static_cast<std::size_t>(single_mb) << 20;
+      copts.dir = cache_dir;
+      cache = std::make_unique<SynthCache>(std::move(copts));
+      CanonicalOptions canon;
+      if (canonical_cap >= 0) canon.max_vars = canonical_cap;
+      canonical_form = canonicalize(*table_spec, canon);
+      cache_enabled = true;
+    }
+
     SynthesisResult result;
     FallbackEngine engine = FallbackEngine::kNone;
     bool verified = false;
     Status run_status;
-    if (resilient_mode) {
+    if (cache_enabled) {
+      if (std::optional<Circuit> cached = cache->lookup(canonical_form.key)) {
+        Circuit rebuilt =
+            reconstruct_circuit(*cached, canonical_form.transform);
+        // Mandatory re-verification: a hash collision or corrupt disk
+        // entry fails here and degrades to a plain miss.
+        if (equivalent(rebuilt, spec)) {
+          result.success = true;
+          result.circuit = std::move(rebuilt);
+          result.initial_terms = spec.term_count();
+          result.termination = TerminationReason::kSolved;
+          verified = true;
+          cache_hit = true;
+        }
+      }
+    }
+    if (!cache_hit && resilient_mode) {
       ResilienceOptions ropts;
       ropts.search = options;
       ropts.search.time_limit = std::chrono::milliseconds{0};
@@ -390,7 +601,7 @@ int main(int argc, char** argv) {
       engine = rr.engine;
       verified = rr.verified;
       run_status = rr.status;
-    } else {
+    } else if (!cache_hit) {
       // The watchdog backstops --time-ms even if a pass wedges between
       // cooperative deadline polls.
       std::unique_ptr<Watchdog> watchdog;
@@ -408,6 +619,11 @@ int main(int argc, char** argv) {
         watchdog->disarm();
         result.stats.watchdog_fired = watchdog->fired();
       }
+    }
+    if (cache_enabled && !cache_hit && result.success) {
+      cache->insert(
+          canonical_form.key,
+          canonical_circuit_of(result.circuit, canonical_form.transform));
     }
     // One JSONL record per run: counters + termination + phase timings +
     // circuit stats (gates/cost -1 when the synthesis failed).
@@ -427,6 +643,10 @@ int main(int argc, char** argv) {
         // "none") and whether the winner passed exact verification.
         record.set("fallback_engine", std::string_view(to_string(engine)));
         record.set("verified", verified);
+      }
+      if (cache_enabled) {
+        record.set("cache_hits", std::uint64_t{cache_hit ? 1u : 0u});
+        record.set("cache_misses", std::uint64_t{cache_hit ? 0u : 1u});
       }
       record.add_profile(profile);
       if (circuit != nullptr) {
