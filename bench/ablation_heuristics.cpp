@@ -62,6 +62,7 @@ Outcome evaluate(const std::vector<Pprm>& workload,
 
 int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  bench::BenchTelemetry telemetry(args);
   const std::uint64_t n3 = args.samples ? args.samples : 150;
   const std::uint64_t n4 = args.samples ? args.samples / 3 + 1 : 50;
 

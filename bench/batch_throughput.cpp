@@ -115,7 +115,7 @@ Args parse_args(int argc, char** argv) {
       rest.push_back(argv[i]);
       if ((arg == "--samples" || arg == "--max-nodes" || arg == "--seed" ||
            arg == "--json" || arg == "--threads" ||
-           arg == "--dense-threshold") &&
+           arg == "--dense-threshold" || arg == "--heartbeat-ms") &&
           i + 1 < argc) {
         rest.push_back(argv[++i]);
       }
@@ -183,6 +183,7 @@ std::vector<BatchJob> load_workload(const std::string& path) {
 
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
+  bench::BenchTelemetry telemetry(args.common);
   bench::BenchJson json(args.common);
   const std::uint64_t total =
       args.common.samples ? args.common.samples : 64;

@@ -13,15 +13,18 @@
 
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
 #include "core/search.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 
 namespace rmrls::bench {
 
@@ -31,7 +34,11 @@ struct BenchArgs {
   bool full = false;
   std::uint64_t seed = 20040216;
   std::string json_out;  // empty = no JSONL metrics
-  int threads = 1;       // search workers (docs/parallelism.md)
+  /// Live-telemetry heartbeat period (docs/observability.md): 0 keeps the
+  /// registry disabled; N > 0 arms it and streams rmrls-metrics-v2
+  /// heartbeats to stderr every N ms while the harness runs.
+  long long heartbeat_ms = 0;
+  int threads = 1;  // search workers (docs/parallelism.md)
   /// Dense-kernel width cap (docs/dense_pprm.md): -1 = keep the library
   /// default, 0 = force sparse, N > 0 = dense up to N variables.
   int dense_threshold = -1;
@@ -50,6 +57,10 @@ struct BenchArgs {
           "  --seed N        RNG seed (default 20040216)\n"
           "  --json FILE     write one JSONL metrics record per"
           " synthesized function\n"
+          "  --heartbeat-ms N\n"
+          "                  stream live telemetry heartbeats"
+          " (rmrls-metrics-v2)\n"
+          "                  to stderr every N ms\n"
           "  --threads N     parallel search workers (1 = sequential,\n"
           "                  0 = one per hardware thread)\n"
           "  --dense-threshold N\n"
@@ -94,6 +105,12 @@ struct BenchArgs {
         a.seed = next_u64();
       } else if (arg == "--json") {
         a.json_out = next();
+      } else if (arg == "--heartbeat-ms") {
+        a.heartbeat_ms = static_cast<long long>(next_u64());
+        if (a.heartbeat_ms < 1) {
+          std::cerr << "invalid number for " << arg << "\n";
+          std::exit(2);
+        }
       } else if (arg == "--threads") {
         a.threads = static_cast<int>(next_u64());
       } else if (arg == "--dense-threshold") {
@@ -109,6 +126,33 @@ struct BenchArgs {
     }
     return a;
   }
+};
+
+/// RAII guard for --heartbeat-ms: arms the process-wide telemetry
+/// registry and runs a background Snapshotter that streams v2 heartbeats
+/// to stderr for the lifetime of the harness (destruction emits one final
+/// flush heartbeat, so even sub-period runs leave a record). With
+/// heartbeat_ms == 0 this is a no-op and the registry stays disabled —
+/// the instrumented layers keep their one-relaxed-load fast path.
+class BenchTelemetry {
+ public:
+  explicit BenchTelemetry(const BenchArgs& args) {
+    if (args.heartbeat_ms <= 0) return;
+    Telemetry& telemetry = Telemetry::enable();
+    telemetry.reset();
+    snapshotter_ = std::make_unique<Snapshotter>(
+        telemetry, std::chrono::milliseconds(args.heartbeat_ms), std::cerr);
+  }
+
+  ~BenchTelemetry() {
+    if (snapshotter_ != nullptr) snapshotter_->stop();
+  }
+
+  BenchTelemetry(const BenchTelemetry&) = delete;
+  BenchTelemetry& operator=(const BenchTelemetry&) = delete;
+
+ private:
+  std::unique_ptr<Snapshotter> snapshotter_;
 };
 
 /// JSONL metrics emitter for the harnesses: one record per synthesized

@@ -20,6 +20,7 @@
 int main(int argc, char** argv) {
   using namespace rmrls;
   const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  bench::BenchTelemetry telemetry(args);
   const std::uint64_t samples = args.samples ? args.samples : 100;
 
   std::cout << "=== Budget curve: random 4-variable functions ===\n"

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   using namespace rmrls;
   using Clock = std::chrono::steady_clock;
   const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  bench::BenchTelemetry telemetry(args);
   bench::BenchJson json(args);
   const std::uint64_t samples = args.samples ? args.samples : 5;
 

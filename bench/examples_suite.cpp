@@ -19,6 +19,7 @@
 int main(int argc, char** argv) {
   using namespace rmrls;
   const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  bench::BenchTelemetry telemetry(args);
   SynthesisOptions options;
   options.max_nodes = args.max_nodes ? args.max_nodes : 200000;
 

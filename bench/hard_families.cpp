@@ -21,6 +21,7 @@
 int main(int argc, char** argv) {
   using namespace rmrls;
   const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  bench::BenchTelemetry telemetry(args);
   struct Row {
     std::string name;
     TruthTable table;

@@ -43,6 +43,7 @@ struct SweepRow {
 
 int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  bench::BenchTelemetry telemetry(args);
   const std::uint64_t samples = args.samples ? args.samples : 10;
   const int max_threads = args.threads > 1 ? args.threads : 4;
 

@@ -28,6 +28,7 @@ inline int run_scalability_table(const char* title, int max_gate_count,
                                  std::uint64_t default_nodes, int argc,
                                  char** argv) {
   const BenchArgs args = BenchArgs::parse(argc, argv);
+  BenchTelemetry telemetry(args);
   BenchJson json(args);
   const std::uint64_t samples =
       args.full ? paper_samples

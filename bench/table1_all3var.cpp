@@ -30,7 +30,7 @@ namespace {
 
 using namespace rmrls;
 
-struct Histogram {
+struct GateHistogram {
   std::vector<std::uint64_t> counts = std::vector<std::uint64_t>(32, 0);
   std::uint64_t fails = 0;
 
@@ -51,6 +51,7 @@ struct Histogram {
 
 int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  bench::BenchTelemetry telemetry(args);
   bench::BenchJson json(args);
   const std::uint64_t sample =
       args.full ? 40320 : (args.samples ? args.samples : 4000);
@@ -66,12 +67,12 @@ int main(int argc, char** argv) {
             << ", search budget " << options.max_nodes
             << " nodes per function\n\n";
 
-  Histogram ours;
-  Histogram ours_templates;
-  Histogram ours_fredkin;  // swap triples count as one gate (NCTS-style)
-  Histogram mmd_basic;
-  Histogram mmd_bidir;
-  Histogram mmd_perm;  // bidirectional + output permutations + templates
+  GateHistogram ours;
+  GateHistogram ours_templates;
+  GateHistogram ours_fredkin;  // swap triples count as one gate (NCTS-style)
+  GateHistogram mmd_basic;
+  GateHistogram mmd_bidir;
+  GateHistogram mmd_perm;  // bidirectional + output permutations + templates
 
   std::uint64_t function_index = 0;
   const auto run_one = [&](const TruthTable& f) {

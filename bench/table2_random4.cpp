@@ -18,6 +18,7 @@
 int main(int argc, char** argv) {
   using namespace rmrls;
   const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+  bench::BenchTelemetry telemetry(args);
   bench::BenchJson json(args);
   const std::uint64_t sample =
       args.full ? 50000 : (args.samples ? args.samples : 500);

@@ -7,6 +7,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "rev/equivalence.hpp"
 #include "rev/pprm.hpp"
 #include "rev/pprm_transform.hpp"
@@ -23,6 +25,24 @@ int resolve_total(int total) {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+/// Deterministic per-job correlation id: FNV-1a over the job name, mixed
+/// with the job index splitmix-style so identical names in one batch still
+/// get distinct ids. Never 0 (0 means "no id" everywhere).
+std::uint64_t job_trace_id(const std::string& name, std::size_t index) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  h ^= static_cast<std::uint64_t>(index) + 0x9e3779b97f4a7c15ull;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h == 0 ? 1 : h;
+}
+
 /// Shared mutable state of one batch run; workers pull job indices from
 /// `next` and write only their own outcome slots, so the only lock guards
 /// the accumulated counters.
@@ -37,6 +57,14 @@ struct BatchContext {
   std::mutex stats_m;
   BatchStats stats;
   SynthesisStats search_stats;
+
+  /// Live telemetry (obs/telemetry.hpp), armed once by run_batch when the
+  /// process registry is active; null handles otherwise.
+  Telemetry* tele = nullptr;
+  Gauge* tele_inflight = nullptr;
+  Gauge* tele_completed = nullptr;
+  Gauge* tele_failed = nullptr;
+  Histogram* tele_job_us = nullptr;
 };
 
 /// Milliseconds of batch budget left, clamped to at least 1ms so a job
@@ -50,7 +78,8 @@ std::chrono::milliseconds remaining_deadline(const BatchContext& ctx) {
   return std::max(std::chrono::milliseconds{1}, left);
 }
 
-ResilienceOptions job_resilience(const BatchContext& ctx, int search_threads) {
+ResilienceOptions job_resilience(const BatchContext& ctx, int search_threads,
+                                 std::uint64_t trace_id) {
   ResilienceOptions r = ctx.options->resilience;
   r.cancel_token = ctx.token;
   // The batch owns the one Watchdog; per-job enforcement is cooperative
@@ -58,6 +87,7 @@ ResilienceOptions job_resilience(const BatchContext& ctx, int search_threads) {
   r.use_watchdog = false;
   r.deadline = remaining_deadline(ctx);
   r.search.num_threads = search_threads;
+  r.search.trace_id = trace_id;
   return r;
 }
 
@@ -78,10 +108,26 @@ void run_one_job(BatchContext& ctx, std::size_t index, int search_threads) {
   const BatchJob& job = (*ctx.jobs)[index];
   BatchJobOutcome& out = (*ctx.outcomes)[index];
   out.name = job.name;
+  // Correlation id only when telemetry is armed: disabled runs carry no
+  // ids in any stream, so their output stays byte-identical to v1.
+  const std::uint64_t trace_id =
+      ctx.tele != nullptr ? job_trace_id(job.name, index) : 0;
+  out.trace_id = trace_id;
+  if (ctx.tele != nullptr) {
+    ctx.tele->add_active(trace_id_hex(trace_id));
+    ctx.tele_inflight->add(1);
+  }
   const auto job_start = Clock::now();
   const auto finish = [&] {
     out.elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
         Clock::now() - job_start);
+    if (ctx.tele != nullptr) {
+      ctx.tele_job_us->record(
+          static_cast<std::uint64_t>(out.elapsed.count()));
+      (out.status.ok() ? ctx.tele_completed : ctx.tele_failed)->add(1);
+      ctx.tele_inflight->add(-1);
+      ctx.tele->remove_active(trace_id_hex(trace_id));
+    }
     std::lock_guard<std::mutex> lock(ctx.stats_m);
     if (out.status.ok()) {
       ++ctx.stats.completed;
@@ -105,8 +151,8 @@ void run_one_job(BatchContext& ctx, std::size_t index, int search_threads) {
   if (cache == nullptr) {
     // Cache-less batch: identical per-job behaviour to the single-shot
     // CLI path (the --cache-mb 0 bit-identity guarantee).
-    ResilientResult r =
-        synthesize_resilient(job.spec, job_resilience(ctx, search_threads));
+    ResilientResult r = synthesize_resilient(
+        job.spec, job_resilience(ctx, search_threads, trace_id));
     out.status = r.status;
     out.result = std::move(r.result);
     out.engine = r.engine;
@@ -137,8 +183,8 @@ void run_one_job(BatchContext& ctx, std::size_t index, int search_threads) {
 
   // Miss (or follower of a failed/collided leader): synthesize the orbit
   // representative so the cached circuit serves every member of the orbit.
-  ResilientResult r = synthesize_resilient(form.representative,
-                                           job_resilience(ctx, search_threads));
+  ResilientResult r = synthesize_resilient(
+      form.representative, job_resilience(ctx, search_threads, trace_id));
   const bool lead = acq.outcome == SynthCache::Outcome::kLead;
   if (r.status.ok() && r.result.success) {
     if (lead) {
@@ -178,6 +224,7 @@ void worker_loop(BatchContext& ctx, int search_threads) {
               ? Status(StatusCode::kCancelled, "batch cancelled")
               : Status(StatusCode::kBudgetExhausted, "batch deadline expired");
       out.result.circuit = Circuit((*ctx.jobs)[index].spec.num_vars());
+      if (ctx.tele_failed != nullptr) ctx.tele_failed->add(1);
       std::lock_guard<std::mutex> lock(ctx.stats_m);
       ++ctx.stats.failed;
       continue;
@@ -225,12 +272,32 @@ BatchResult run_batch(const std::vector<BatchJob>& jobs,
   const ThreadSplit split =
       split_threads(options.total_threads, options.batch_threads, jobs.size());
 
+  // Concurrent jobs would otherwise drive the caller's (single-threaded)
+  // sink from several worker threads at once; one lock at the fan-in point
+  // keeps every existing sink implementation valid (same idiom as the
+  // parallel engine's per-run wrap in core/parallel.cpp).
+  BatchOptions opts = options;
+  SyncTraceSink synced_sink(opts.resilience.search.trace_sink);
+  if (opts.resilience.search.trace_sink != nullptr &&
+      split.batch_threads > 1) {
+    opts.resilience.search.trace_sink = &synced_sink;
+  }
+
   BatchContext ctx;
   ctx.jobs = &jobs;
-  ctx.options = &options;
+  ctx.options = &opts;
   ctx.token = token;
   ctx.batch_start = start;
   ctx.outcomes = &result.outcomes;
+  if (Telemetry* t = Telemetry::active()) {
+    ctx.tele = t;
+    ctx.tele_inflight = &t->gauge("batch.jobs_inflight");
+    ctx.tele_completed = &t->gauge("batch.jobs_completed");
+    ctx.tele_failed = &t->gauge("batch.jobs_failed");
+    ctx.tele_job_us = &t->histogram("batch.job_us");
+    t->gauge("batch.jobs_total")
+        .set(static_cast<std::int64_t>(jobs.size()));
+  }
 
   if (split.batch_threads <= 1) {
     worker_loop(ctx, split.search_threads);

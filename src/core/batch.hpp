@@ -53,6 +53,11 @@ struct BatchJobOutcome {
   bool cache_hit = false;   ///< served from the cache (memory or disk)
   bool orbit_hit = false;   ///< hit with a non-identity orbit transform
   bool deduped = false;     ///< adopted a concurrent leader's result
+  /// Correlation id of this job (obs/telemetry.hpp): stamped into the
+  /// job's trace events, the heartbeat `active` set, and the per-job
+  /// metrics record. 0 when telemetry is disarmed — disabled runs carry
+  /// no ids anywhere, keeping their output byte-identical to v1.
+  std::uint64_t trace_id = 0;
   std::chrono::microseconds elapsed{0};
 };
 

@@ -118,6 +118,13 @@ struct SynthesisOptions {
   /// refinement reruns, so it aggregates the whole synthesis.
   PhaseProfile* phase_profile = nullptr;
 
+  /// Observability (obs/telemetry.hpp): correlation id stamped into every
+  /// TraceEvent this run emits, rendered as 16 hex digits alongside batch
+  /// job records and heartbeat `active` sets so one job's story is
+  /// greppable across all three streams. 0 (the default) means "no id" —
+  /// nothing is stamped or rendered.
+  std::uint64_t trace_id = 0;
+
   /// Cooperative cancellation (core/cancel.hpp, docs/robustness.md): when
   /// set, the engines poll this token from their expansion and candidate
   /// loops and stop within one iteration of it firing. A deadline-reason

@@ -108,6 +108,29 @@ class ShardedSeenTable {
     return out;
   }
 
+  /// Live occupancy across all shards (telemetry `search.tt_entries`
+  /// gauge). Point-in-time under concurrency: each shard is read under
+  /// its own lock, not the table as a whole.
+  [[nodiscard]] std::uint64_t entry_count() const {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      const std::lock_guard<std::mutex> lock(s.m);
+      total += s.map.size();
+    }
+    return total;
+  }
+
+  /// Total duplicate hits across all shards (telemetry
+  /// `search.tt_shard_hits` gauge).
+  [[nodiscard]] std::uint64_t total_hits() const {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      const std::lock_guard<std::mutex> lock(s.m);
+      total += s.hits;
+    }
+    return total;
+  }
+
  private:
   /// One cache line per shard header so neighbouring locks don't
   /// false-share.

@@ -9,6 +9,7 @@
 #include "baselines/greedy_pprm.hpp"
 #include "baselines/transformation_based.hpp"
 #include "core/synthesizer.hpp"
+#include "obs/telemetry.hpp"
 #include "rev/equivalence.hpp"
 #include "rev/pprm_transform.hpp"
 
@@ -44,9 +45,11 @@ ResilientResult resilient_impl(const Pprm& spec, const TruthTable* table,
   CancelToken local_token;
   CancelToken* const token =
       options.cancel_token != nullptr ? options.cancel_token : &local_token;
+  Telemetry* const tele = Telemetry::active();
   std::unique_ptr<Watchdog> watchdog;
   if (timed && options.use_watchdog) {
     watchdog = std::make_unique<Watchdog>(*token, options.deadline);
+    if (tele != nullptr) tele->counter("resilient.watchdog_arms").inc();
   }
 
   ResilientResult out;
@@ -85,6 +88,23 @@ ResilientResult resilient_impl(const Pprm& spec, const TruthTable* table,
     out.result.stats.elapsed =
         std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
                                                               wall_start);
+    if (tele != nullptr) {
+      if (out.watchdog_fired) {
+        tele->counter("resilient.watchdog_fires").inc();
+        // How far past its deadline a fired run actually ran before the
+        // cooperative polls stopped it.
+        const auto overshoot_us =
+            out.result.stats.elapsed -
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                options.deadline);
+        if (overshoot_us.count() > 0) {
+          tele->histogram("resilient.deadline_overshoot_us")
+              .record(static_cast<std::uint64_t>(overshoot_us.count()));
+        }
+      }
+      tele->counter(std::string("resilient.engine.") + to_string(engine))
+          .inc();
+    }
     if (engine != FallbackEngine::kNone) {
       out.status = Status();
     } else if (user_cancelled()) {

@@ -20,7 +20,9 @@ BasicSearch<Rep>::BasicSearch(Rep start, SynthesisOptions options)
       initial_terms_(start_.term_count()),
       cancel_(options.cancel_token),
       sink_(options.trace_sink),
-      profile_(options.phase_profile) {}
+      profile_(options.phase_profile) {
+  init_telemetry();
+}
 
 template <class Rep>
 BasicSearch<Rep>::BasicSearch(Rep start, SynthesisOptions options,
@@ -34,7 +36,36 @@ BasicSearch<Rep>::BasicSearch(Rep start, SynthesisOptions options,
       seeds_(std::move(seeds)),
       cancel_(options.cancel_token),
       sink_(options.trace_sink),
-      profile_(options.phase_profile) {}
+      profile_(options.phase_profile) {
+  init_telemetry();
+}
+
+template <class Rep>
+void BasicSearch<Rep>::init_telemetry() {
+  if (Telemetry* t = Telemetry::active()) {
+    tele_nodes_ = &t->counter("search.nodes_expanded");
+    tele_solutions_ = &t->counter("search.solutions");
+    tele_queue_ = &t->gauge("search.queue_depth");
+    tele_tt_ = &t->gauge("search.tt_entries");
+    tele_tt_hits_ = &t->gauge("search.tt_shard_hits");
+  }
+}
+
+template <class Rep>
+void BasicSearch<Rep>::sample_telemetry() {
+  // Workers of one parallel pass all write these gauges; last writer wins,
+  // which is fine for an instantaneous "what is the engine doing" signal.
+  // TT occupancy is exact for the sequential table and a point-in-time
+  // sum over the shards for the shared one.
+  tele_queue_->set(static_cast<std::int64_t>(heap_.size()));
+  if (shared_ != nullptr) {
+    tele_tt_->set(static_cast<std::int64_t>(shared_->seen.entry_count()));
+    tele_tt_hits_->set(static_cast<std::int64_t>(shared_->seen.total_hits()));
+  } else {
+    tele_tt_->set(static_cast<std::int64_t>(seen_.size()));
+    tele_tt_hits_->set(static_cast<std::int64_t>(stats_.pruned_duplicate));
+  }
+}
 
 template <class Rep>
 int BasicSearch<Rep>::bound() const {
@@ -116,6 +147,7 @@ bool BasicSearch<Rep>::record_solution(std::int32_t parent, const Gate& gate,
   best_node_ = static_cast<std::int32_t>(arena_.size()) - 1;
   best_depth_ = child_depth;
   ++stats_.solutions_found;
+  if (tele_solutions_ != nullptr) tele_solutions_->inc();
   pops_since_improvement_ = 0;
   TraceEvent e;
   e.kind = TraceEventKind::kSolutionFound;
@@ -500,6 +532,10 @@ SynthesisResult BasicSearch<Rep>::run() {
     QueueEntry entry = pop_entry();
     ++stats_.nodes_expanded;
     ++pops_since_improvement_;
+    if (tele_nodes_ != nullptr) {
+      tele_nodes_->inc();
+      if ((stats_.nodes_expanded & 0x3f) == 0) sample_telemetry();
+    }
 
     const int depth = arena_[entry.node].depth;
     if (sink_) {

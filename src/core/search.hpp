@@ -26,6 +26,7 @@
 #include "core/factor_enum.hpp"
 #include "core/options.hpp"
 #include "obs/phase_profile.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "rev/circuit.hpp"
 #include "rev/pprm.hpp"
@@ -250,9 +251,25 @@ class BasicSearch {
   PhaseProfile* profile_ = nullptr;
   std::chrono::steady_clock::time_point run_start_{};
 
+  /// Live telemetry (obs/telemetry.hpp): handles grabbed once at
+  /// construction when the process registry is armed; null otherwise, so
+  /// with telemetry off every site is one pointer test (same cost model
+  /// as sink_). Wired by init_telemetry() in the ctors.
+  Counter* tele_nodes_ = nullptr;
+  Counter* tele_solutions_ = nullptr;
+  Gauge* tele_queue_ = nullptr;
+  Gauge* tele_tt_ = nullptr;
+  Gauge* tele_tt_hits_ = nullptr;
+  void init_telemetry();
+  /// Periodic gauge refresh (queue depth, TT occupancy/hits), called
+  /// every 64 pops from the run loop; needs parallel.hpp so it lives in
+  /// the .cpp.
+  void sample_telemetry();
+
   /// Emits `event` if a sink is installed, stamping the running node
-  /// counter, queue size, and microseconds since run start. `sampled`
-  /// events additionally honour trace_sample_interval.
+  /// counter, queue size, microseconds since run start, the steady-clock
+  /// timestamp (heartbeat alignment) and the run's correlation id.
+  /// `sampled` events additionally honour trace_sample_interval.
   void emit(TraceEvent event, bool sampled = false) {
     if (sink_ == nullptr) return;
     if (sampled && options_.trace_sample_interval > 1 &&
@@ -261,10 +278,16 @@ class BasicSearch {
     }
     event.nodes_expanded = stats_.nodes_expanded;
     event.queue_size = heap_.size();
+    const auto now = std::chrono::steady_clock::now();
     event.t_us = static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - run_start_)
+        std::chrono::duration_cast<std::chrono::microseconds>(now -
+                                                              run_start_)
             .count());
+    event.timestamp_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            now.time_since_epoch())
+            .count());
+    event.trace_id = options_.trace_id;
     sink_->on_event(event);
   }
 

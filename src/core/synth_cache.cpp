@@ -1,6 +1,7 @@
 #include "core/synth_cache.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -37,6 +38,20 @@ SynthCache::SynthCache(SynthCacheOptions options)
     : options_(std::move(options)),
       shards_(static_cast<std::size_t>(std::max(1, options_.shards))) {
   shard_budget_ = options_.byte_budget / shards_.size();
+  if (Telemetry* t = Telemetry::active()) {
+    tele_hits_ = &t->counter("cache.hits");
+    tele_disk_hits_ = &t->counter("cache.disk_hits");
+    tele_misses_ = &t->counter("cache.misses");
+    tele_inserts_ = &t->counter("cache.inserts");
+    tele_evictions_ = &t->counter("cache.evictions");
+    tele_bytes_ = &t->gauge("cache.bytes");
+    tele_follow_us_ = &t->histogram("cache.follow_wait_us");
+    tele_shard_bytes_.reserve(shards_.size());
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      tele_shard_bytes_.push_back(
+          &t->gauge("cache.shard" + std::to_string(i) + ".bytes"));
+    }
+  }
   if (!options_.dir.empty()) {
     // Best-effort: an uncreatable directory degrades to a memory-only
     // cache (reads and writes below fail soft, entry by entry).
@@ -55,6 +70,7 @@ SynthCache::Acquisition SynthCache::acquire(std::uint64_t key) {
     if (it != shard.map.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       ++shard.stats.hits;
+      if (tele_hits_ != nullptr) tele_hits_->inc();
       return {Outcome::kHit, it->second->circuit};
     }
     const auto fit = shard.inflight.find(key);
@@ -68,8 +84,15 @@ SynthCache::Acquisition SynthCache::acquire(std::uint64_t key) {
     }
   }
   if (!leader) {
+    const auto wait_start = std::chrono::steady_clock::now();
     std::unique_lock<std::mutex> wait_lock(flight->m);
     flight->cv.wait(wait_lock, [&] { return flight->done; });
+    if (tele_follow_us_ != nullptr) {
+      tele_follow_us_->record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - wait_start)
+              .count()));
+    }
     return {Outcome::kFollow, flight->circuit};
   }
   // Leadership covers the disk store too: exactly one thread pays the
@@ -79,6 +102,7 @@ SynthCache::Acquisition SynthCache::acquire(std::uint64_t key) {
       {
         std::unique_lock<std::mutex> lock(shard.m);
         ++shard.stats.disk_hits;
+        if (tele_disk_hits_ != nullptr) tele_disk_hits_->inc();
         insert_locked(shard, key, *revived);
       }
       publish(key, &*revived);
@@ -89,6 +113,7 @@ SynthCache::Acquisition SynthCache::acquire(std::uint64_t key) {
     std::unique_lock<std::mutex> lock(shard.m);
     ++shard.stats.misses;
   }
+  if (tele_misses_ != nullptr) tele_misses_->inc();
   return {Outcome::kLead, std::nullopt};
 }
 
@@ -126,6 +151,7 @@ std::optional<Circuit> SynthCache::lookup(std::uint64_t key) {
     if (it != shard.map.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       ++shard.stats.hits;
+      if (tele_hits_ != nullptr) tele_hits_->inc();
       return it->second->circuit;
     }
   }
@@ -133,12 +159,14 @@ std::optional<Circuit> SynthCache::lookup(std::uint64_t key) {
     if (std::optional<Circuit> revived = load_from_disk(key)) {
       std::unique_lock<std::mutex> lock(shard.m);
       ++shard.stats.disk_hits;
+      if (tele_disk_hits_ != nullptr) tele_disk_hits_->inc();
       insert_locked(shard, key, *revived);
       return revived;
     }
   }
   std::unique_lock<std::mutex> lock(shard.m);
   ++shard.stats.misses;
+  if (tele_misses_ != nullptr) tele_misses_->inc();
   return std::nullopt;
 }
 
@@ -165,6 +193,7 @@ void SynthCache::insert_locked(Shard& shard, std::uint64_t key,
     shard.map[key] = shard.lru.begin();
     shard.bytes += shard.lru.front().bytes;
     ++shard.stats.inserts;
+    if (tele_inserts_ != nullptr) tele_inserts_->inc();
   }
   // Byte-budget eviction from the LRU tail; the freshest entry is exempt
   // so one oversized circuit cannot make insertion a no-op.
@@ -174,6 +203,14 @@ void SynthCache::insert_locked(Shard& shard, std::uint64_t key,
     shard.map.erase(victim.key);
     shard.lru.pop_back();
     ++shard.stats.evictions;
+    if (tele_evictions_ != nullptr) tele_evictions_->inc();
+  }
+  if (tele_bytes_ != nullptr) {
+    const auto idx = static_cast<std::size_t>(&shard - shards_.data());
+    tele_shard_bytes_[idx]->set(static_cast<std::int64_t>(shard.bytes));
+    std::int64_t total = 0;
+    for (const Gauge* g : tele_shard_bytes_) total += g->value();
+    tele_bytes_->set(total);
   }
 }
 

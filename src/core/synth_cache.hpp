@@ -30,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/telemetry.hpp"
 #include "rev/circuit.hpp"
 
 namespace rmrls {
@@ -134,6 +135,18 @@ class SynthCache {
   SynthCacheOptions options_;
   std::size_t shard_budget_ = 0;
   std::vector<Shard> shards_;
+
+  /// Live telemetry (obs/telemetry.hpp): handles grabbed once at
+  /// construction when the process registry is armed, null otherwise —
+  /// every site below is one pointer test with telemetry off.
+  Counter* tele_hits_ = nullptr;
+  Counter* tele_disk_hits_ = nullptr;
+  Counter* tele_misses_ = nullptr;
+  Counter* tele_inserts_ = nullptr;
+  Counter* tele_evictions_ = nullptr;
+  Gauge* tele_bytes_ = nullptr;
+  Histogram* tele_follow_us_ = nullptr;    ///< follower cv-wait latency
+  std::vector<Gauge*> tele_shard_bytes_;   ///< cache.shard<i>.bytes
 };
 
 }  // namespace rmrls

@@ -1,0 +1,63 @@
+/// \file metrics_validate.hpp
+/// \brief Shared validation rules for rmrls metrics JSONL streams.
+///
+/// One stateful validator covers both schema generations:
+///
+///   * rmrls-metrics-v1 — per-run / per-job / batch-summary records
+///     (obs/metrics.hpp): schema tag, required keys, termination enum,
+///     success/gates consistency, cache/batch invariants.
+///   * rmrls-metrics-v2 — `record:"heartbeat"` snapshots
+///     (obs/telemetry.hpp): required keys, per-stream strictly increasing
+///     `seq` and monotone `uptime_ns`, histogram bucket counts summing to
+///     the histogram's total.
+///
+/// The two record kinds interleave freely in one file (`rmrls --batch
+/// --heartbeat-ms` writes both into --metrics-out), so the validator
+/// dispatches per line on the schema tag. It is the single source of
+/// truth for tools/metrics_check, tools/metrics_report and the fixture
+/// tests — the CI guard and the aggregator cannot drift apart.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rmrls {
+
+struct JsonValue;  // obs/json.hpp
+
+/// Validates metrics JSONL line by line, accumulating errors and carrying
+/// the per-stream heartbeat monotonicity state. Use one validator per
+/// logical stream, or call begin_stream() at each file boundary.
+class MetricsValidator {
+ public:
+  /// Resets the per-stream heartbeat state (seq / uptime_ns monotonicity).
+  /// Call when switching to a different file; accumulated totals and
+  /// errors are kept.
+  void begin_stream();
+
+  /// Validates one record. `where` prefixes any error ("file:line").
+  /// Empty lines are the caller's concern — every call counts a record.
+  bool check_line(const std::string& line, const std::string& where);
+
+  [[nodiscard]] std::uint64_t records() const { return records_; }
+  [[nodiscard]] std::uint64_t heartbeats() const { return heartbeats_; }
+  [[nodiscard]] const std::vector<std::string>& errors() const {
+    return errors_;
+  }
+
+ private:
+  bool fail(const std::string& where, const std::string& message);
+  bool check_v1(const JsonValue& v, const std::string& where);
+  bool check_heartbeat(const JsonValue& v, const std::string& where);
+
+  std::uint64_t records_ = 0;
+  std::uint64_t heartbeats_ = 0;
+  bool have_heartbeat_ = false;  ///< per-stream: a heartbeat was seen
+  double prev_seq_ = 0.0;
+  double prev_uptime_ = 0.0;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace rmrls

@@ -1,0 +1,257 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace rmrls {
+
+namespace detail {
+
+unsigned telemetry_thread_slot() noexcept {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace detail
+
+std::uint64_t HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th value (1-based, ceil), then walk the cumulative
+  // counts; the answer is the upper edge of the bucket holding that rank.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(q * static_cast<double>(count) + 0.5));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen >= rank) return Histogram::bucket_upper(static_cast<int>(b));
+  }
+  return Histogram::bucket_upper(static_cast<int>(buckets.size()) - 1);
+}
+
+std::atomic<Telemetry*> Telemetry::active_{nullptr};
+
+Telemetry& Telemetry::registry() {
+  // Never destroyed: handles cached by instrumented code must stay valid
+  // through static destruction order (e.g. a bench harness's atexit).
+  static Telemetry* const instance = new Telemetry();
+  return *instance;
+}
+
+Telemetry& Telemetry::enable() {
+  Telemetry& t = registry();
+  active_.store(&t, std::memory_order_release);
+  return t;
+}
+
+void Telemetry::disable() noexcept {
+  active_.store(nullptr, std::memory_order_release);
+}
+
+Counter& Telemetry::counter(std::string_view name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(m_);
+    const auto it = counters_.find(name);
+    if (it != counters_.end()) return *it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(m_);
+  auto& slot = counters_[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Telemetry::gauge(std::string_view name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(m_);
+    const auto it = gauges_.find(name);
+    if (it != gauges_.end()) return *it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(m_);
+  auto& slot = gauges_[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Telemetry::histogram(std::string_view name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(m_);
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) return *it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(m_);
+  auto& slot = histograms_[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+const Gauge* Telemetry::find_gauge(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(m_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Counter* Telemetry::find_counter(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(m_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+void Telemetry::add_active(const std::string& trace_id) {
+  const std::lock_guard<std::mutex> lock(active_m_);
+  active_ids_.insert(trace_id);
+}
+
+void Telemetry::remove_active(const std::string& trace_id) {
+  const std::lock_guard<std::mutex> lock(active_m_);
+  active_ids_.erase(trace_id);
+}
+
+TelemetrySnapshot Telemetry::snapshot() const {
+  TelemetrySnapshot snap;
+  snap.mono_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  {
+    std::shared_lock<std::shared_mutex> lock(m_);
+    snap.counters.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) {
+      snap.counters.emplace_back(name, c->value());
+    }
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_) {
+      snap.gauges.emplace_back(name, g->value());
+    }
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+      HistogramSnapshot hs;
+      hs.sum = h->sum();
+      int last = -1;
+      std::array<std::uint64_t, Histogram::kBuckets> raw{};
+      for (int b = 0; b < Histogram::kBuckets; ++b) {
+        raw[static_cast<std::size_t>(b)] = h->bucket(b);
+        if (raw[static_cast<std::size_t>(b)] != 0) last = b;
+      }
+      hs.buckets.assign(raw.begin(), raw.begin() + (last + 1));
+      for (const std::uint64_t c : hs.buckets) hs.count += c;
+      snap.histograms.emplace_back(name, std::move(hs));
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(active_m_);
+    snap.active.assign(active_ids_.begin(), active_ids_.end());
+  }
+  return snap;
+}
+
+void Telemetry::reset() {
+  std::unique_lock<std::shared_mutex> lock(m_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
+  lock.unlock();
+  const std::lock_guard<std::mutex> alock(active_m_);
+  active_ids_.clear();
+}
+
+std::string trace_id_hex(std::uint64_t trace_id) {
+  static constexpr char digits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[trace_id & 0xf];
+    trace_id >>= 4;
+  }
+  return out;
+}
+
+std::string Snapshotter::heartbeat_json(const TelemetrySnapshot& snap,
+                                        std::uint64_t seq,
+                                        std::uint64_t uptime_ns) {
+  JsonObject o;
+  o.field("schema", kMetricsSchemaV2);
+  o.field("record", "heartbeat");
+  o.field("seq", seq);
+  o.field("uptime_ns", uptime_ns);
+  o.field("mono_ns", snap.mono_ns);
+  JsonObject counters;
+  for (const auto& [name, v] : snap.counters) counters.field(name, v);
+  o.raw("counters", counters.str());
+  JsonObject gauges;
+  for (const auto& [name, v] : snap.gauges) {
+    gauges.field(name, static_cast<std::int64_t>(v));
+  }
+  o.raw("gauges", gauges.str());
+  JsonObject histograms;
+  for (const auto& [name, h] : snap.histograms) {
+    JsonObject entry;
+    entry.field("count", h.count).field("sum", h.sum);
+    std::string buckets = "[";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) buckets += ',';
+      buckets += std::to_string(h.buckets[b]);
+    }
+    buckets += ']';
+    entry.raw("buckets", buckets);
+    histograms.raw(name, entry.str());
+  }
+  o.raw("histograms", histograms.str());
+  if (!snap.active.empty()) {
+    std::string active = "[";
+    for (std::size_t i = 0; i < snap.active.size(); ++i) {
+      if (i > 0) active += ',';
+      active += '"' + json_escape(snap.active[i]) + '"';
+    }
+    active += ']';
+    o.raw("active", active);
+  }
+  return o.str();
+}
+
+Snapshotter::Snapshotter(Telemetry& telemetry,
+                         std::chrono::milliseconds interval, std::ostream& out)
+    : telemetry_(telemetry),
+      interval_(interval.count() > 0 ? interval
+                                     : std::chrono::milliseconds{1000}),
+      out_(out),
+      start_(std::chrono::steady_clock::now()) {
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(m_);
+    while (!stopped_) {
+      if (cv_.wait_for(lock, interval_, [this] { return stopped_; })) {
+        return;  // stop() emits the final heartbeat after the join
+      }
+      lock.unlock();
+      emit_one();
+      lock.lock();
+    }
+  });
+}
+
+Snapshotter::~Snapshotter() { stop(); }
+
+void Snapshotter::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(m_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  emit_one();  // flush-on-exit: the run's final cumulative state
+  out_.flush();
+}
+
+void Snapshotter::emit_one() {
+  const std::uint64_t uptime_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+  out_ << heartbeat_json(telemetry_.snapshot(), seq_++, uptime_ns) << '\n';
+  emitted_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+}  // namespace rmrls

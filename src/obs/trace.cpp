@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "obs/json.hpp"
+#include "obs/telemetry.hpp"
 
 namespace rmrls {
 
@@ -48,6 +49,8 @@ std::string JsonlTraceSink::to_json(const TraceEvent& e) {
     o.field("priority", e.priority);
   }
   o.field("t_us", e.t_us);
+  if (e.timestamp_ns != 0) o.field("ts_ns", e.timestamp_ns);
+  if (e.trace_id != 0) o.field("trace_id", trace_id_hex(e.trace_id));
   return o.str();
 }
 
@@ -57,13 +60,39 @@ void JsonlTraceSink::on_event(const TraceEvent& event) {
 
 void ProgressTraceSink::on_event(const TraceEvent& event) {
   switch (event.kind) {
-    case TraceEventKind::kNodeExpanded:
+    case TraceEventKind::kNodeExpanded: {
+      if (event.nodes_expanded < last_nodes_) {
+        // A new run (refinement rerun / next batch job) reset the counter;
+        // restart the rate window so the delta stays meaningful.
+        last_nodes_ = 0;
+        last_ns_ = 0;
+        last_heartbeat_ = 0;
+      }
       if (event.nodes_expanded < last_heartbeat_ + interval_) return;
       last_heartbeat_ = event.nodes_expanded;
       out_ << "[rmrls] " << event.nodes_expanded << " nodes, queue "
            << event.queue_size << ", depth " << event.depth << ", terms "
-           << event.terms << ", " << event.t_us / 1000 << " ms\n";
+           << event.terms << ", " << event.t_us / 1000 << " ms";
+      if (event.timestamp_ns > last_ns_ && event.nodes_expanded > last_nodes_ &&
+          last_ns_ != 0) {
+        const double secs =
+            static_cast<double>(event.timestamp_ns - last_ns_) * 1e-9;
+        const auto rate = static_cast<std::uint64_t>(
+            static_cast<double>(event.nodes_expanded - last_nodes_) / secs);
+        out_ << ", " << rate << " nodes/s";
+      }
+      last_nodes_ = event.nodes_expanded;
+      if (event.timestamp_ns != 0) last_ns_ = event.timestamp_ns;
+      if (const Telemetry* t = Telemetry::active()) {
+        const Gauge* done = t->find_gauge("batch.jobs_completed");
+        const Gauge* total = t->find_gauge("batch.jobs_total");
+        if (done != nullptr && total != nullptr && total->value() > 0) {
+          out_ << ", jobs " << done->value() << "/" << total->value();
+        }
+      }
+      out_ << "\n";
       break;
+    }
     case TraceEventKind::kSolutionFound:
       out_ << "[rmrls] solution: " << event.gates << " gates after "
            << event.nodes_expanded << " nodes (" << event.t_us / 1000

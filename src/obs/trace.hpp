@@ -62,6 +62,10 @@ struct TraceEvent {
   std::int32_t gates = -1;  ///< solution/refinement/run-end: best gate count
   double priority = 0.0;    ///< eq. (4) priority of the expanded entry
   std::uint64_t t_us = 0;   ///< microseconds since the run started
+  std::uint64_t timestamp_ns = 0;  ///< steady_clock at emission (epoch-ns),
+                                   ///< time-aligns events with heartbeats
+  std::uint64_t trace_id = 0;      ///< correlation id (0 = none); see
+                                   ///< SynthesisOptions::trace_id
 };
 
 [[nodiscard]] const char* to_string(TraceEventKind kind);
@@ -99,7 +103,9 @@ class JsonlTraceSink final : public TraceSink {
 
 /// Low-frequency human-readable progress lines (for --progress): a
 /// heartbeat every `interval` expansions plus every solution, restart and
-/// refinement round.
+/// refinement round. Heartbeats carry the expansion rate since the last
+/// print, and — when the process Telemetry registry is armed and a batch
+/// run is publishing its gauges — batch jobs done/total.
 class ProgressTraceSink final : public TraceSink {
  public:
   explicit ProgressTraceSink(std::ostream& out,
@@ -111,6 +117,8 @@ class ProgressTraceSink final : public TraceSink {
   std::ostream& out_;
   std::uint64_t interval_;
   std::uint64_t last_heartbeat_ = 0;
+  std::uint64_t last_nodes_ = 0;  ///< rate window start (node count)
+  std::uint64_t last_ns_ = 0;     ///< rate window start (timestamp_ns)
 };
 
 /// Captures events in memory; the test harness asserts event/counter

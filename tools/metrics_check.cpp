@@ -1,222 +1,61 @@
 /// \file metrics_check.cpp
-/// \brief Validates rmrls-metrics-v1 JSONL files (CI guard).
+/// \brief Validates rmrls metrics JSONL files (CI guard).
 ///
 /// Usage: metrics_check FILE [FILE...]
 ///
-/// For every line of every file: it must parse as a JSON object, carry the
-/// schema tag, every required key (metrics_required_keys()), a known
-/// termination reason, and self-consistent counters (a successful record
-/// has gates >= 0; a failed one gates == -1). Exit 0 if every record of
-/// every file passes and at least one record was seen; 1 otherwise. This
-/// runs in CTest against the table harnesses' --json output so the metrics
-/// schema cannot silently rot.
+/// Every line of every file must pass the shared validation rules in
+/// obs/metrics_validate.hpp: rmrls-metrics-v1 run/job/summary records
+/// (required keys, termination enum, counter consistency) and
+/// rmrls-metrics-v2 heartbeat records (required keys, per-file monotone
+/// seq/uptime_ns, histogram buckets summing to their count). The two
+/// kinds may interleave in one file — that is exactly what
+/// `rmrls --batch --heartbeat-ms --metrics-out` writes. Exit 0 if every
+/// record of every file passes and at least one record was seen; 1
+/// otherwise. This runs in CTest against the table harnesses' --json
+/// output so the metrics schema cannot silently rot.
 
 #include <fstream>
 #include <iostream>
 #include <string>
 
-#include "core/options.hpp"
-#include "obs/json.hpp"
-#include "obs/metrics.hpp"
-
-namespace {
-
-using rmrls::JsonValue;
-
-bool check_record(const std::string& line, const std::string& where) {
-  const auto parsed = rmrls::json_parse(line);
-  if (!parsed || !parsed->is_object()) {
-    std::cerr << where << ": line is not a JSON object: " << line << "\n";
-    return false;
-  }
-  const JsonValue* schema = parsed->find("schema");
-  if (schema == nullptr || !schema->is_string() ||
-      schema->string != rmrls::kMetricsSchema) {
-    std::cerr << where << ": missing/wrong schema tag (want "
-              << rmrls::kMetricsSchema << ")\n";
-    return false;
-  }
-  for (const std::string& key : rmrls::metrics_required_keys()) {
-    if (parsed->find(key) == nullptr) {
-      std::cerr << where << ": missing required key '" << key << "'\n";
-      return false;
-    }
-  }
-  const JsonValue* termination = parsed->find("termination");
-  const std::string& t = termination->string;
-  if (!termination->is_string() ||
-      (t != "solved" && t != "node_budget" && t != "time_limit" &&
-       t != "queue_exhausted" && t != "cancelled")) {
-    std::cerr << where << ": unknown termination reason '" << t << "'\n";
-    return false;
-  }
-  const JsonValue* success = parsed->find("success");
-  const JsonValue* gates = parsed->find("gates");
-  const JsonValue* cost = parsed->find("quantum_cost");
-  if (success->type != JsonValue::Type::kBool || !gates->is_number() ||
-      !cost->is_number()) {
-    std::cerr << where << ": success/gates/quantum_cost have wrong types\n";
-    return false;
-  }
-  if (success->boolean ? gates->number < 0 : gates->number != -1) {
-    std::cerr << where << ": gates (" << gates->number
-              << ") inconsistent with success flag\n";
-    return false;
-  }
-  const JsonValue* nodes = parsed->find("nodes_expanded");
-  if (!nodes->is_number() || nodes->number < 0) {
-    std::cerr << where << ": nodes_expanded is not a non-negative number\n";
-    return false;
-  }
-  const JsonValue* workers = parsed->find("workers");
-  if (!workers->is_number() || workers->number < 1) {
-    std::cerr << where << ": workers is not a number >= 1\n";
-    return false;
-  }
-  const JsonValue* dense = parsed->find("dense_kernel");
-  if (dense->type != JsonValue::Type::kBool) {
-    std::cerr << where << ": dense_kernel is not a bool\n";
-    return false;
-  }
-  const JsonValue* switches = parsed->find("representation_switches");
-  if (!switches->is_number() || switches->number < 0) {
-    std::cerr << where
-              << ": representation_switches is not a non-negative number\n";
-    return false;
-  }
-  // Resilience fields (docs/robustness.md): the two flags are required by
-  // the schema; the engine label and verification flag only appear on
-  // --resilient runs.
-  const JsonValue* cancelled = parsed->find("cancelled");
-  const JsonValue* watchdog = parsed->find("watchdog_fired");
-  if (cancelled->type != JsonValue::Type::kBool ||
-      watchdog->type != JsonValue::Type::kBool) {
-    std::cerr << where << ": cancelled/watchdog_fired are not bools\n";
-    return false;
-  }
-  const JsonValue* engine = parsed->find("fallback_engine");
-  if (engine != nullptr) {
-    const std::string& e = engine->string;
-    if (!engine->is_string() ||
-        (e != "none" && e != "best_first" && e != "greedy" &&
-         e != "transformation_based")) {
-      std::cerr << where << ": unknown fallback_engine '" << e << "'\n";
-      return false;
-    }
-    const JsonValue* verified = parsed->find("verified");
-    if (verified == nullptr || verified->type != JsonValue::Type::kBool) {
-      std::cerr << where
-                << ": fallback_engine without a boolean 'verified'\n";
-      return false;
-    }
-  }
-  // Optional cache / batch fields (docs/caching.md). Single-shot records
-  // carry cache_hits/cache_misses when a cache was armed; a batch summary
-  // record additionally carries batch_jobs and the orbit/dedup counters
-  // with their invariants.
-  const JsonValue* cache_hits = parsed->find("cache_hits");
-  const JsonValue* cache_misses = parsed->find("cache_misses");
-  if ((cache_hits == nullptr) != (cache_misses == nullptr)) {
-    std::cerr << where
-              << ": cache_hits and cache_misses must appear together\n";
-    return false;
-  }
-  if (cache_hits != nullptr &&
-      (!cache_hits->is_number() || cache_hits->number < 0 ||
-       !cache_misses->is_number() || cache_misses->number < 0)) {
-    std::cerr << where
-              << ": cache_hits/cache_misses are not non-negative numbers\n";
-    return false;
-  }
-  const JsonValue* batch_jobs = parsed->find("batch_jobs");
-  if (batch_jobs != nullptr) {
-    if (!batch_jobs->is_number() || batch_jobs->number < 1) {
-      std::cerr << where << ": batch_jobs is not a number >= 1\n";
-      return false;
-    }
-    const JsonValue* orbit_hits = parsed->find("cache_orbit_hits");
-    const JsonValue* dedup = parsed->find("batch_dedup");
-    if (cache_hits == nullptr || orbit_hits == nullptr || dedup == nullptr ||
-        !orbit_hits->is_number() || orbit_hits->number < 0 ||
-        !dedup->is_number() || dedup->number < 0) {
-      std::cerr << where
-                << ": batch record lacks non-negative cache_hits/"
-                   "cache_misses/cache_orbit_hits/batch_dedup\n";
-      return false;
-    }
-    if (orbit_hits->number > cache_hits->number) {
-      std::cerr << where << ": cache_orbit_hits (" << orbit_hits->number
-                << ") exceeds cache_hits (" << cache_hits->number << ")\n";
-      return false;
-    }
-    if (cache_hits->number + cache_misses->number + dedup->number >
-        batch_jobs->number) {
-      std::cerr << where
-                << ": cache_hits + cache_misses + batch_dedup exceeds"
-                   " batch_jobs\n";
-      return false;
-    }
-  }
-  // Optional per-shard transposition hit counts (parallel engine only):
-  // an array of non-negative numbers whose sum cannot exceed the total
-  // duplicate prunes (sequential passes of the same run may add more).
-  const JsonValue* shard_hits = parsed->find("tt_shard_hits");
-  if (shard_hits != nullptr) {
-    if (shard_hits->type != JsonValue::Type::kArray) {
-      std::cerr << where << ": tt_shard_hits is not an array\n";
-      return false;
-    }
-    double sum = 0.0;
-    for (const JsonValue& v : shard_hits->array) {
-      if (!v.is_number() || v.number < 0) {
-        std::cerr << where
-                  << ": tt_shard_hits element is not a non-negative number\n";
-        return false;
-      }
-      sum += v.number;
-    }
-    const JsonValue* duplicates = parsed->find("pruned_duplicate");
-    if (duplicates == nullptr || !duplicates->is_number() ||
-        sum > duplicates->number) {
-      std::cerr << where << ": tt_shard_hits sum (" << sum
-                << ") exceeds pruned_duplicate\n";
-      return false;
-    }
-  }
-  return true;
-}
-
-}  // namespace
+#include "obs/metrics_validate.hpp"
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: metrics_check FILE [FILE...]\n";
     return 2;
   }
-  std::uint64_t records = 0;
-  bool ok = true;
+  rmrls::MetricsValidator validator;
   for (int f = 1; f < argc; ++f) {
     std::ifstream in(argv[f]);
     if (!in) {
       std::cerr << "cannot open " << argv[f] << "\n";
       return 1;
     }
+    validator.begin_stream();  // heartbeat monotonicity is per file
     std::string line;
     std::uint64_t lineno = 0;
     while (std::getline(in, line)) {
       ++lineno;
       if (line.empty()) continue;
-      ++records;
-      ok &= check_record(line,
-                         std::string(argv[f]) + ":" + std::to_string(lineno));
+      validator.check_line(line,
+                           std::string(argv[f]) + ":" + std::to_string(lineno));
     }
   }
-  if (records == 0) {
+  for (const std::string& error : validator.errors()) {
+    std::cerr << error << "\n";
+  }
+  if (validator.records() == 0) {
     std::cerr << "no metrics records found\n";
     return 1;
   }
-  if (ok) {
-    std::cout << records << " metrics record(s) valid\n";
+  if (validator.errors().empty()) {
+    std::cout << validator.records() << " metrics record(s) valid";
+    if (validator.heartbeats() > 0) {
+      std::cout << " (" << validator.heartbeats() << " heartbeat(s))";
+    }
+    std::cout << "\n";
+    return 0;
   }
-  return ok ? 0 : 1;
+  return 1;
 }

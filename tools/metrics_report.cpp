@@ -1,0 +1,284 @@
+/// \file metrics_report.cpp
+/// \brief Merges rmrls metrics JSONL files into a fleet summary
+/// (docs/observability.md).
+///
+/// Usage: metrics_report FILE [FILE...]
+///
+/// The ROADMAP's merged-metrics summary tool: every input file is first
+/// validated against the shared rules (obs/metrics_validate.hpp — same
+/// rules as metrics_check), then aggregated:
+///
+///   * per-key percentile tables (p50/p95/p99/max) from the final
+///     heartbeat's histograms, bucket-merged across files — estimates at
+///     log2 bucket upper edges;
+///   * an exact per-job wall-time row computed from the v1 job records
+///     themselves;
+///   * cache hit-rate and throughput summaries;
+///   * a final-heartbeat health line (uptime, jobs done/failed/in-flight).
+///
+/// Exit 0 on success, 1 on validation errors or no records, 2 on usage.
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics_validate.hpp"
+#include "obs/telemetry.hpp"
+
+namespace {
+
+using rmrls::HistogramSnapshot;
+using rmrls::JsonValue;
+
+/// Everything the report needs from the parsed streams.
+struct Aggregate {
+  std::uint64_t files = 0;
+  std::uint64_t records = 0;
+  std::uint64_t heartbeats = 0;
+  std::vector<double> job_elapsed_us;  ///< v1 job records (not summaries)
+  std::uint64_t jobs_succeeded = 0;
+  std::uint64_t jobs_failed = 0;
+  /// Cache counters: heartbeat `cache.*` counters win when present (they
+  /// see every engine-level event); otherwise batch summary records.
+  double cache_hits = 0, cache_misses = 0, cache_evictions = 0;
+  bool cache_from_heartbeat = false;
+  bool cache_seen = false;
+  /// Final heartbeat per file, merged: bucket-wise histogram sums,
+  /// counter sums, max uptime.
+  std::map<std::string, HistogramSnapshot> histograms;
+  std::map<std::string, double> counters;
+  double max_uptime_ns = 0;
+  std::string last_health;  ///< rendered from the last file's heartbeat
+};
+
+void merge_histogram(HistogramSnapshot& into, const JsonValue& h) {
+  const JsonValue* count = h.find("count");
+  const JsonValue* sum = h.find("sum");
+  const JsonValue* buckets = h.find("buckets");
+  into.count += static_cast<std::uint64_t>(count->number);
+  into.sum += static_cast<std::uint64_t>(sum->number);
+  if (buckets->array.size() > into.buckets.size()) {
+    into.buckets.resize(buckets->array.size(), 0);
+  }
+  for (std::size_t b = 0; b < buckets->array.size(); ++b) {
+    into.buckets[b] += static_cast<std::uint64_t>(buckets->array[b].number);
+  }
+}
+
+double gauge_of(const JsonValue& heartbeat, const char* name) {
+  const JsonValue* gauges = heartbeat.find("gauges");
+  const JsonValue* g = gauges != nullptr ? gauges->find(name) : nullptr;
+  return g != nullptr && g->is_number() ? g->number : 0.0;
+}
+
+/// Folds one file's *final* heartbeat into the aggregate (cumulative
+/// records: the last one subsumes every earlier one of that stream).
+void absorb_final_heartbeat(Aggregate& agg, const JsonValue& hb) {
+  const JsonValue* histograms = hb.find("histograms");
+  for (const auto& [name, h] : histograms->object) {
+    merge_histogram(agg.histograms[name], h);
+  }
+  const JsonValue* counters = hb.find("counters");
+  for (const auto& [name, c] : counters->object) {
+    agg.counters[name] += c.number;
+  }
+  const JsonValue* uptime = hb.find("uptime_ns");
+  agg.max_uptime_ns = std::max(agg.max_uptime_ns, uptime->number);
+
+  const JsonValue* hits = counters->find("cache.hits");
+  const JsonValue* misses = counters->find("cache.misses");
+  if (hits != nullptr && misses != nullptr) {
+    if (!agg.cache_from_heartbeat) {
+      // First heartbeat-sourced cache numbers replace any summary-record
+      // ones gathered so far.
+      agg.cache_hits = agg.cache_misses = agg.cache_evictions = 0;
+      agg.cache_from_heartbeat = true;
+    }
+    agg.cache_seen = true;
+    agg.cache_hits += hits->number;
+    agg.cache_misses += misses->number;
+    const JsonValue* ev = counters->find("cache.evictions");
+    if (ev != nullptr) agg.cache_evictions += ev->number;
+  }
+
+  std::ostringstream health;
+  const JsonValue* seq = hb.find("seq");
+  health << "final heartbeat: seq " << static_cast<std::uint64_t>(seq->number)
+         << ", uptime " << std::fixed << std::setprecision(2)
+         << uptime->number * 1e-9 << "s";
+  const double total = gauge_of(hb, "batch.jobs_total");
+  if (total > 0) {
+    health << ", jobs " << gauge_of(hb, "batch.jobs_completed") << "/"
+           << total << " done, " << gauge_of(hb, "batch.jobs_failed")
+           << " failed, " << gauge_of(hb, "batch.jobs_inflight")
+           << " in flight";
+  }
+  const JsonValue* active = hb.find("active");
+  if (active != nullptr && !active->array.empty()) {
+    health << ", active";
+    for (const JsonValue& id : active->array) health << " " << id.string;
+  }
+  agg.last_health = health.str();
+}
+
+void absorb_v1(Aggregate& agg, const JsonValue& v) {
+  if (v.find("batch_jobs") != nullptr) {
+    // Batch summary record: cache counters (unless heartbeats already
+    // provided engine-level ones), not a job sample.
+    if (!agg.cache_from_heartbeat) {
+      const JsonValue* hits = v.find("cache_hits");
+      const JsonValue* misses = v.find("cache_misses");
+      if (hits != nullptr && misses != nullptr) {
+        agg.cache_seen = true;
+        agg.cache_hits += hits->number;
+        agg.cache_misses += misses->number;
+      }
+    }
+    return;
+  }
+  const JsonValue* elapsed = v.find("elapsed_us");
+  agg.job_elapsed_us.push_back(elapsed->number);
+  const JsonValue* success = v.find("success");
+  if (success->boolean) {
+    ++agg.jobs_succeeded;
+  } else {
+    ++agg.jobs_failed;
+  }
+}
+
+double exact_quantile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::max(1.0, q * static_cast<double>(sorted.size()) + 0.5));
+  return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+void print_row(const std::string& name, std::uint64_t count, double p50,
+               double p95, double p99, double max, const char* note) {
+  std::cout << "  " << std::left << std::setw(28) << name << std::right
+            << std::setw(8) << count << std::setw(12)
+            << static_cast<std::uint64_t>(p50) << std::setw(12)
+            << static_cast<std::uint64_t>(p95) << std::setw(12)
+            << static_cast<std::uint64_t>(p99) << std::setw(12)
+            << static_cast<std::uint64_t>(max) << note << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: metrics_report FILE [FILE...]\n";
+    return 2;
+  }
+  rmrls::MetricsValidator validator;
+  Aggregate agg;
+  for (int f = 1; f < argc; ++f) {
+    std::ifstream in(argv[f]);
+    if (!in) {
+      std::cerr << "cannot open " << argv[f] << "\n";
+      return 1;
+    }
+    validator.begin_stream();
+    ++agg.files;
+    std::string line;
+    std::uint64_t lineno = 0;
+    std::optional<JsonValue> final_heartbeat;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty()) continue;
+      const std::string where =
+          std::string(argv[f]) + ":" + std::to_string(lineno);
+      if (!validator.check_line(line, where)) continue;
+      ++agg.records;
+      auto parsed = rmrls::json_parse(line);  // validated above; parses
+      const JsonValue* record = parsed->find("record");
+      if (record != nullptr && record->string == "heartbeat") {
+        ++agg.heartbeats;
+        final_heartbeat = std::move(*parsed);
+      } else {
+        absorb_v1(agg, *parsed);
+      }
+    }
+    if (final_heartbeat) absorb_final_heartbeat(agg, *final_heartbeat);
+  }
+  for (const std::string& error : validator.errors()) {
+    std::cerr << error << "\n";
+  }
+  if (!validator.errors().empty()) return 1;
+  if (agg.records == 0) {
+    std::cerr << "no metrics records found\n";
+    return 1;
+  }
+
+  std::cout << "metrics_report: " << agg.files << " file(s), " << agg.records
+            << " record(s), " << agg.job_elapsed_us.size()
+            << " job record(s), " << agg.heartbeats << " heartbeat(s)\n";
+
+  if (!agg.histograms.empty() || !agg.job_elapsed_us.empty()) {
+    std::cout << "\n  " << std::left << std::setw(28) << "key" << std::right
+              << std::setw(8) << "count" << std::setw(12) << "p50"
+              << std::setw(12) << "p95" << std::setw(12) << "p99"
+              << std::setw(12) << "max" << "\n";
+    for (const auto& [name, h] : agg.histograms) {
+      if (h.count == 0) continue;
+      print_row(name, h.count, static_cast<double>(h.quantile(0.50)),
+                static_cast<double>(h.quantile(0.95)),
+                static_cast<double>(h.quantile(0.99)),
+                static_cast<double>(h.quantile(1.0)), "  (log2 est)");
+    }
+    if (!agg.job_elapsed_us.empty()) {
+      std::vector<double> sorted = agg.job_elapsed_us;
+      std::sort(sorted.begin(), sorted.end());
+      print_row("job elapsed_us", sorted.size(),
+                exact_quantile(sorted, 0.50), exact_quantile(sorted, 0.95),
+                exact_quantile(sorted, 0.99), sorted.back(), "  (exact)");
+    }
+  }
+
+  if (agg.cache_seen) {
+    const double lookups = agg.cache_hits + agg.cache_misses;
+    std::cout << "\ncache: " << agg.cache_hits << " hit(s), "
+              << agg.cache_misses << " miss(es)";
+    if (agg.cache_from_heartbeat) {
+      std::cout << ", " << agg.cache_evictions << " eviction(s)";
+    }
+    if (lookups > 0) {
+      std::cout << " — " << std::fixed << std::setprecision(1)
+                << 100.0 * agg.cache_hits / lookups << "% hit rate";
+    }
+    std::cout << "\n";
+  }
+
+  if (!agg.job_elapsed_us.empty() || agg.max_uptime_ns > 0) {
+    std::cout << "throughput: " << agg.job_elapsed_us.size() << " job(s) ("
+              << agg.jobs_succeeded << " ok, " << agg.jobs_failed
+              << " failed)";
+    if (agg.max_uptime_ns > 0) {
+      const double secs = agg.max_uptime_ns * 1e-9;
+      std::cout << " in " << std::fixed << std::setprecision(2) << secs
+                << "s";
+      if (!agg.job_elapsed_us.empty()) {
+        std::cout << ", " << std::setprecision(2)
+                  << static_cast<double>(agg.job_elapsed_us.size()) / secs
+                  << " jobs/s";
+      }
+      const auto nodes = agg.counters.find("search.nodes_expanded");
+      if (nodes != agg.counters.end() && nodes->second > 0) {
+        std::cout << ", " << std::setprecision(0) << nodes->second / secs
+                  << " nodes/s";
+      }
+    }
+    std::cout << "\n";
+  }
+
+  if (!agg.last_health.empty()) std::cout << agg.last_health << "\n";
+  return 0;
+}

@@ -25,6 +25,7 @@
 #include "rev/equivalence.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase_profile.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "rev/pprm_transform.hpp"
 #include "rev/quantum_cost.hpp"
@@ -134,6 +135,13 @@ void help(const char* argv0, std::ostream& os) {
         " circuit\n"
         "                     stats); schema rmrls-metrics-v1, see\n"
         "                     docs/observability.md\n"
+        "  --heartbeat-ms N   arm live telemetry and write one heartbeat\n"
+        "                     record every N ms (schema rmrls-metrics-v2:\n"
+        "                     counters, gauges, histograms, uptime) into\n"
+        "                     --metrics-out (stderr without it). In --batch\n"
+        "                     mode each job also gets a trace_id correlated\n"
+        "                     across job records, trace events and the\n"
+        "                     heartbeats' active set\n"
         "  --progress         human-readable search progress on stderr\n"
         "\n"
         "  --help, -h         this text\n"
@@ -211,6 +219,7 @@ int main(int argc, char** argv) {
   std::string tfc_file;
   std::string trace_file;
   std::string metrics_file;
+  long long heartbeat_ms = 0;
   bool progress = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -314,6 +323,9 @@ int main(int argc, char** argv) {
       options.trace_sample_interval = num_ull(arg, next());
     } else if (arg == "--metrics-out") {
       metrics_file = next();
+    } else if (arg == "--heartbeat-ms") {
+      heartbeat_ms = num_ll(arg, next());
+      if (heartbeat_ms < 1) bad_number(arg, std::to_string(heartbeat_ms));
     } else if (arg == "--progress") {
       progress = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -348,6 +360,31 @@ int main(int argc, char** argv) {
     if (jsonl_sink || progress_sink) options.trace_sink = &multi_sink;
     PhaseProfile profile;
     if (!metrics_file.empty()) options.phase_profile = &profile;
+
+    // The metrics stream opens before the run (not after, as the v1-only
+    // code did) so heartbeat records can interleave with it; the per-run /
+    // per-job v1 records are still written after the snapshotter stopped,
+    // so the two writers never race on the stream.
+    std::ofstream metrics_out;
+    if (!metrics_file.empty()) {
+      metrics_out.open(metrics_file);
+      if (!metrics_out) {
+        std::cerr << "cannot open " << metrics_file << " for writing\n";
+        return 1;
+      }
+    }
+    // Live telemetry (docs/observability.md): arming must precede the
+    // construction of everything that caches instrument handles (caches,
+    // engines, the batch driver).
+    std::unique_ptr<Snapshotter> snapshotter;
+    if (heartbeat_ms > 0) {
+      Telemetry& telemetry = Telemetry::enable();
+      telemetry.reset();
+      snapshotter = std::make_unique<Snapshotter>(
+          telemetry, std::chrono::milliseconds(heartbeat_ms),
+          metrics_file.empty() ? static_cast<std::ostream&>(std::cerr)
+                               : static_cast<std::ostream&>(metrics_out));
+    }
 
     // Input handling is fail-soft (docs/robustness.md): the checked
     // parsers return a Status whose diagnostic carries file:line, and the
@@ -400,6 +437,9 @@ int main(int argc, char** argv) {
       }
 
       const BatchResult br = run_batch(jobs, bopts);
+      // Final gauge/counter state is in place now; the flush heartbeat
+      // must land before the v1 records start using the stream.
+      if (snapshotter != nullptr) snapshotter->stop();
 
       for (const BatchJobOutcome& out : br.outcomes) {
         if (!out.status.ok()) {
@@ -423,12 +463,7 @@ int main(int argc, char** argv) {
                 << br.elapsed.count() << " us\n";
 
       if (!metrics_file.empty()) {
-        std::ofstream out(metrics_file);
-        if (!out) {
-          std::cerr << "cannot open " << metrics_file << " for writing\n";
-          return 1;
-        }
-        MetricsWriter writer(out);
+        MetricsWriter writer(metrics_out);
         std::int64_t total_gates = 0;
         std::int64_t total_cost = 0;
         for (const BatchJobOutcome& job : br.outcomes) {
@@ -436,6 +471,11 @@ int main(int argc, char** argv) {
           record.set("name", job.name)
               .set("vars", job.result.circuit.num_lines())
               .set("success", job.status.ok());
+          if (job.trace_id != 0) {
+            // Span correlation (docs/observability.md): the same 16-hex id
+            // this job's trace events and the heartbeats' active set carry.
+            record.set("trace_id", trace_id_hex(job.trace_id));
+          }
           record.add_stats(job.result.stats, job.result.termination);
           record.set("fallback_engine",
                      std::string_view(to_string(job.engine)));
@@ -625,15 +665,12 @@ int main(int argc, char** argv) {
           canonical_form.key,
           canonical_circuit_of(result.circuit, canonical_form.transform));
     }
+    // Flush the final heartbeat before the v1 record shares the stream.
+    if (snapshotter != nullptr) snapshotter->stop();
     // One JSONL record per run: counters + termination + phase timings +
     // circuit stats (gates/cost -1 when the synthesis failed).
     const auto write_metrics = [&](const Circuit* circuit) {
       if (metrics_file.empty()) return true;
-      std::ofstream out(metrics_file);
-      if (!out) {
-        std::cerr << "cannot open " << metrics_file << " for writing\n";
-        return false;
-      }
       MetricsRegistry record;
       record.set("name", input_name).set("vars", spec.num_vars());
       record.set("success", result.success);
@@ -654,7 +691,7 @@ int main(int argc, char** argv) {
       } else {
         record.set("gates", -1).set("quantum_cost", -1);
       }
-      MetricsWriter(out).write(record);
+      MetricsWriter(metrics_out).write(record);
       return true;
     };
 
