@@ -42,11 +42,22 @@ struct BenchArgs {
   /// Dense-kernel width cap (docs/dense_pprm.md): -1 = keep the library
   /// default, 0 = force sparse, N > 0 = dense up to N variables.
   int dense_threshold = -1;
+  /// Search-core knobs (docs/parallelism.md): transposition-table budget
+  /// and replacement policy, plus the two PR-7 heuristic kill switches the
+  /// ablation harness flips.
+  int tt_mb = 0;  // 0 = library default
+  TTReplacement tt_replacement = TTReplacement::kAging;
+  bool use_history = true;
+  bool iterative_deepening = true;
 
   /// Copies the flags that map one-to-one onto SynthesisOptions fields.
   void apply(SynthesisOptions& options) const {
     options.num_threads = threads;
     if (dense_threshold >= 0) options.dense_threshold = dense_threshold;
+    if (tt_mb > 0) options.tt_mb = tt_mb;
+    options.tt_replacement = tt_replacement;
+    options.use_history = use_history;
+    options.iterative_deepening = iterative_deepening;
   }
 
   static void print_help(std::ostream& os) {
@@ -66,6 +77,11 @@ struct BenchArgs {
           "  --dense-threshold N\n"
           "                  widest system run on the dense spectrum kernel\n"
           "                  (-1 = library default, 0 = always sparse)\n"
+          "  --tt-mb N       transposition-table budget in MiB (0 = library\n"
+          "                  default)\n"
+          "  --tt-policy P   TT replacement policy: always | depth | aging\n"
+          "  --no-history    disable the history-heuristic ordering bonus\n"
+          "  --no-id         disable iterative deepening on the gate bound\n"
           "  --help          this text\n";
   }
 
@@ -115,6 +131,25 @@ struct BenchArgs {
         a.threads = static_cast<int>(next_u64());
       } else if (arg == "--dense-threshold") {
         a.dense_threshold = static_cast<int>(next_u64());
+      } else if (arg == "--tt-mb") {
+        a.tt_mb = static_cast<int>(next_u64());
+      } else if (arg == "--tt-policy") {
+        const std::string value = next();
+        if (value == "always") {
+          a.tt_replacement = TTReplacement::kAlways;
+        } else if (value == "depth") {
+          a.tt_replacement = TTReplacement::kDepthPreferred;
+        } else if (value == "aging") {
+          a.tt_replacement = TTReplacement::kAging;
+        } else {
+          std::cerr << "--tt-policy wants always|depth|aging, got '" << value
+                    << "'\n";
+          std::exit(2);
+        }
+      } else if (arg == "--no-history") {
+        a.use_history = false;
+      } else if (arg == "--no-id") {
+        a.iterative_deepening = false;
       } else if (arg == "--help" || arg == "-h") {
         print_help(std::cout);
         std::exit(0);

@@ -1,0 +1,100 @@
+/// \file history.hpp
+/// \brief History heuristic for factor ordering (docs/parallelism.md).
+///
+/// The chess history heuristic, transplanted: substitutions that appear on
+/// recorded solution paths earn credit, indexed by (target variable,
+/// factor class), and the search adds a small normalized bonus to eq. (4)
+/// so statistically successful factors are tried first. The factor class
+/// is a 64-way hash bucket of the factor cube — specific factors
+/// accumulate specific credit (the analogue of chess's from/to-square
+/// table), and a collision merely blurs two factors' signals together.
+///
+/// The table is written on two events:
+///   * record_solution() walks each newly recorded (strictly improving)
+///     solution path and rewards every gate on it, and
+///   * the iterative-deepening driver re-rewards the best circuit found
+///     so far before each next pass — "the previous iteration's circuit
+///     seeds the next iteration's move ordering".
+/// decay() halves every score between passes so stale preferences fade.
+///
+/// All cells are relaxed atomics: lazy-SMP workers share one table and a
+/// lost update just loses a sliver of credit. Single-threaded runs see
+/// their own writes in order, so sequential synthesis stays deterministic
+/// (pinned in tests/test_tt_replacement). `--no-history`
+/// (SynthesisOptions::use_history = false) restores the paper-exact
+/// eq. (4) ordering.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "rev/cube.hpp"
+#include "rev/pprm.hpp"  // splitmix64
+
+namespace rmrls {
+
+class HistoryTable {
+ public:
+  static constexpr int kMaxTargets = 64;  // rev/ caps lines at 64
+  static constexpr int kFactorClasses = 64;
+
+  /// Reward a gate on a recorded solution path. Shallower solutions pass
+  /// larger amounts (they are stronger evidence). Saturates instead of
+  /// wrapping.
+  void reward(int target, Cube factor, std::uint32_t amount) {
+    std::atomic<std::uint32_t>& cell = scores_[index_of(target, factor)];
+    std::uint32_t cur = cell.load(std::memory_order_relaxed);
+    std::uint32_t next;
+    do {
+      next = cur > kSaturation - amount ? kSaturation : cur + amount;
+    } while (!cell.compare_exchange_weak(cur, next,
+                                         std::memory_order_relaxed));
+    std::uint32_t max = max_.load(std::memory_order_relaxed);
+    while (next > max &&
+           !max_.compare_exchange_weak(max, next,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Normalized success score in [0, 1]; 0 when this (target, class) has
+  /// never been on a solution path.
+  [[nodiscard]] double bonus(int target, Cube factor) const {
+    const std::uint32_t max = max_.load(std::memory_order_relaxed);
+    if (max == 0) return 0.0;
+    const std::uint32_t s =
+        scores_[index_of(target, factor)].load(std::memory_order_relaxed);
+    return static_cast<double>(s) / static_cast<double>(max);
+  }
+
+  /// Halves every score (and the running max) — called by the driver
+  /// between passes so old iterations' preferences decay instead of
+  /// dominating forever.
+  void decay() {
+    for (std::atomic<std::uint32_t>& cell : scores_) {
+      cell.store(cell.load(std::memory_order_relaxed) / 2,
+                 std::memory_order_relaxed);
+    }
+    max_.store(max_.load(std::memory_order_relaxed) / 2,
+               std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::uint32_t kSaturation = 1u << 24;
+
+  [[nodiscard]] static std::size_t index_of(int target, Cube factor) {
+    const std::size_t cls = static_cast<std::size_t>(
+        splitmix64(static_cast<std::uint64_t>(factor)) &
+        (kFactorClasses - 1));
+    return static_cast<std::size_t>(target & (kMaxTargets - 1)) *
+               kFactorClasses +
+           cls;
+  }
+
+  std::array<std::atomic<std::uint32_t>, kMaxTargets * kFactorClasses>
+      scores_{};
+  std::atomic<std::uint32_t> max_{0};
+};
+
+}  // namespace rmrls

@@ -8,11 +8,14 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/transposition.hpp"  // TTReplacement
+
 namespace rmrls {
 
 class TraceSink;      // obs/trace.hpp
 struct PhaseProfile;  // obs/phase_profile.hpp
 class CancelToken;    // core/cancel.hpp
+class HistoryTable;   // core/history.hpp
 
 /// Options controlling the RMRLS best-first search. Defaults reproduce the
 /// paper's configuration: priority weights (0.3, 0.6, 0.1), both classes of
@@ -91,6 +94,66 @@ struct SynthesisOptions {
   /// drown the queue on 5-variable functions.
   bool use_transposition_table = true;
 
+  /// Memory budget of the bounded transposition table in megabytes
+  /// (core/transposition.hpp, CLI `--tt-mb`). The table is sized once and
+  /// never grows; a full bucket evicts by `tt_replacement` instead of
+  /// allocating, so long runs hold steady-state memory.
+  int tt_mb = 64;
+
+  /// Eviction policy of a full table bucket (ablated in bench/ablation):
+  /// kAging (default) retires entries of older search passes first,
+  /// kDepthPreferred evicts the deepest (least valuable) entry, kAlways
+  /// unconditionally replaces a fixed slot.
+  TTReplacement tt_replacement = TTReplacement::kAging;
+
+  /// Externally owned transposition table shared across search passes
+  /// (non-owning, like trace_sink). synthesize() installs one per call so
+  /// the iterative-deepening ladder and the refinement reruns share it —
+  /// the driver bumps its generation between passes. Null (the default)
+  /// makes each engine pass build its own from tt_mb / tt_replacement.
+  TranspositionTable* tt = nullptr;
+
+  /// History-guided ordering (core/history.hpp): blend each candidate's
+  /// (target, factor-class) success score into eq. (4) as a bonus of at
+  /// most `history_weight`. false (`--no-history`) restores the
+  /// paper-exact ordering.
+  bool use_history = true;
+
+  /// Weight of the normalized history bonus added to eq. (4). Small by
+  /// design: history breaks ties and nudges, it never overrides a clear
+  /// eq.-4 preference.
+  double history_weight = 0.10;
+
+  /// Externally owned history table (non-owning); installed by
+  /// synthesize() per call so passes share learned preferences. Null with
+  /// use_history makes each pass learn only within itself.
+  HistoryTable* history = nullptr;
+
+  /// Iterative deepening on the max-gates bound (`--no-id` disables):
+  /// synthesize() climbs a ladder of max_gates limits (each pass's
+  /// tighter cap prunes deep junk at creation) instead of opening with
+  /// one unbounded scouting run; each iteration's best circuit seeds the
+  /// next iteration's history ordering. Ignored in stop-at-first mode and
+  /// when the caller fixed max_gates.
+  bool iterative_deepening = true;
+
+  /// Deterministic priority-jitter seed for lazy-SMP order
+  /// diversification (docs/parallelism.md). 0 (the default, and always
+  /// for worker 0) adds no noise; the parallel engine gives every other
+  /// worker a distinct seed so the workers explore the shared tree in
+  /// different orders instead of racing down one line.
+  std::uint64_t order_jitter = 0;
+
+  /// Owner tag this engine writes into shared transposition-table entries;
+  /// with tt_own_only set, also the only tag whose entries prune it (a
+  /// foreign claim is taken over and re-expanded). The parallel engine
+  /// marks its canonical worker — and the root expansion that feeds every
+  /// worker — with a nonzero tag and tt_own_only, so helper claims divert
+  /// helpers but can never cut the sequential line short
+  /// (core/transposition.hpp).
+  std::uint8_t tt_owner = 0;
+  bool tt_own_only = false;
+
   /// Ablation variant of eq. (4): use cumulative terms eliminated since the
   /// root divided by depth, instead of the per-stage elimination the
   /// pseudocode stores.
@@ -134,13 +197,22 @@ struct SynthesisOptions {
 
   /// Worker threads of the parallel engine (docs/parallelism.md). 1 (the
   /// default) runs the exact sequential search — bit-identical results.
-  /// N > 1 expands the root sequentially, partitions the first-level
-  /// subtrees round-robin by priority across N workers (each with its own
-  /// heap, node arena and Pprm pool), and shares the best-depth bound, the
-  /// node budget and a sharded transposition table between them. 0 means
-  /// "one worker per hardware thread". Parallel results are valid circuits
+  /// N > 1 runs lazy-SMP: every worker searches the full root with its
+  /// own heap, node arena and Pprm pool but a diversified seed order and
+  /// priority jitter, sharing the best-depth bound, the node budget, the
+  /// bounded transposition table and the history table. 0 means "one
+  /// worker per hardware thread". Parallel results are valid circuits
   /// but not bit-reproducible run to run (the bound race affects pruning).
   int num_threads = 1;
+
+  /// Lazy-SMP duplicates exploration by design, so running more workers
+  /// than hardware threads is strictly harmful: the workers time-slice
+  /// the cores and re-derive each other's states instead of advancing.
+  /// By default the effective worker count is therefore clamped to
+  /// std::thread::hardware_concurrency(). Tests that exercise the
+  /// multi-worker code paths on small machines set this to true to get
+  /// exactly `num_threads` workers regardless of the host.
+  bool allow_oversubscription = false;
 
   /// Shards (stripes) of the shared transposition table used when
   /// `num_threads > 1`; each shard is an independently locked map, so
@@ -229,6 +301,32 @@ struct SynthesisStats {
   /// engine only; empty for sequential runs, where every duplicate is in
   /// pruned_duplicate). Summed element-wise when runs accumulate.
   std::vector<std::uint64_t> tt_shard_hits;
+  /// Transposition-table traffic of this run (core/transposition.hpp):
+  /// entries written (fresh slots + evicting replacements) and entries
+  /// evicted by the replacement policy. Always evictions <= inserts, an
+  /// invariant metrics_check enforces. Both are per-run deltas even when
+  /// the table itself is shared across a driver's passes.
+  std::uint64_t tt_inserts = 0;
+  std::uint64_t tt_evictions = 0;
+  /// Table generation after this run — the number of search passes (mod
+  /// 256) the shared table has served. Merged by maximum.
+  std::uint64_t tt_generation = 0;
+  /// Iterative-deepening ladder passes the driver executed (>= 1; plain
+  /// engine runs count as one). Merged by maximum: parallel workers and
+  /// cascade stages report their driver's ladder, not a sum of ladders.
+  std::uint64_t id_iterations = 1;
+  /// Candidates whose eq.-4 priority received a non-zero history bonus
+  /// (core/history.hpp). 0 when use_history is off or nothing has been
+  /// learned yet.
+  std::uint64_t history_hits = 0;
+  /// Total nodes expanded when the returned circuit was recorded — the
+  /// search effort the result actually required, as opposed to
+  /// nodes_expanded, which keeps counting while refinement hunts for
+  /// something better. 0 when no circuit was found. Maintained by the
+  /// drivers (accumulate_stats leaves it alone: only the layer that knows
+  /// which sub-run's circuit won can offset it); under lazy SMP it is the
+  /// winning worker's local count, a lower bound on the pass total.
+  std::uint64_t nodes_at_best = 0;
   /// True if any search pass of this run used the dense word-parallel
   /// PPRM kernel (SynthesisOptions::dense_threshold).
   bool dense_kernel = false;
@@ -266,6 +364,15 @@ inline void accumulate_stats(SynthesisStats& into, const SynthesisStats& from) {
   into.dropped_queue_full += from.dropped_queue_full;
   into.restarts += from.restarts;
   into.solutions_found += from.solutions_found;
+  into.tt_inserts += from.tt_inserts;
+  into.tt_evictions += from.tt_evictions;
+  if (from.tt_generation > into.tt_generation) {
+    into.tt_generation = from.tt_generation;
+  }
+  if (from.id_iterations > into.id_iterations) {
+    into.id_iterations = from.id_iterations;
+  }
+  into.history_hits += from.history_hits;
   if (from.workers > into.workers) into.workers = from.workers;
   // A kernel disagreement between the merged runs is a representation
   // switch; dense_kernel then means "any pass ran dense".

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <thread>
 #include <utility>
 
+#include "core/history.hpp"
 #include "core/search.hpp"
 #include "obs/phase_profile.hpp"
 #include "obs/trace.hpp"
@@ -41,6 +43,23 @@ std::chrono::microseconds wall_since(Clock::time_point start) {
                                                                start);
 }
 
+/// Deterministic jitter seed of worker `w`. Worker 0 always searches the
+/// canonical ordering (seed 0 = no jitter), so one worker of every pass is
+/// the sequential engine's order and quality can only be added to, never
+/// traded away.
+std::uint64_t worker_jitter_seed(int w) {
+  if (w == 0) return 0;
+  return splitmix64(0x6c617a79736d70ull ^ static_cast<std::uint64_t>(w));
+}
+
+/// Transposition-table owner tag of the canonical worker (and of the root
+/// expansion feeding every worker). Helpers write the default tag 0 and
+/// prune on any entry; the canonical worker prunes only on this tag, so
+/// no helper claim can cut it off a line the sequential engine would
+/// explore — worker 0 stays a completeness guarantee, not just a
+/// diversification choice (core/transposition.hpp).
+constexpr std::uint8_t kCanonicalOwner = 1;
+
 /// The engine, generic over the state representation (sparse Pprm or
 /// dense DensePprm). Every worker of one pass runs the same
 /// representation; see parallel.hpp.
@@ -50,9 +69,39 @@ SynthesisResult run_parallel_impl(const Rep& start,
   const auto wall_start = Clock::now();
   const int requested = resolve_threads(options.num_threads);
 
+  // The pass's shared structures: the bounded transposition table (the
+  // driver's pass-spanning one when installed, else built here for this
+  // pass) and the shared history table.
+  std::unique_ptr<TranspositionTable> local_tt;
+  TranspositionTable* pass_tt = nullptr;
+  if (options.use_transposition_table) {
+    pass_tt = options.tt;
+    if (pass_tt == nullptr) {
+      local_tt = std::make_unique<TranspositionTable>(
+          options.tt_mb, options.tt_shards, options.tt_replacement);
+      pass_tt = local_tt.get();
+    }
+  }
+  std::unique_ptr<HistoryTable> local_history;
+  SynthesisOptions pass_options = options;
+  pass_options.tt = pass_tt;
+  // The root expansion's depth-1 claims carry the canonical worker's tag:
+  // they are exactly the entries the sequential engine would have written
+  // first, so worker 0 prunes on them like its own (see the worker loop).
+  pass_options.tt_owner = kCanonicalOwner;
+  if (options.use_history && options.history == nullptr) {
+    local_history = std::make_unique<HistoryTable>();
+    pass_options.history = local_history.get();
+  }
+  const TranspositionTable::Snapshot tt_before =
+      pass_tt != nullptr ? pass_tt->snapshot() : TranspositionTable::Snapshot{};
+
   // Phase 1: expand the root sequentially and harvest the first-level
-  // subtrees (sorted by descending priority).
-  BasicRootExpansion<Rep> root = BasicSearch<Rep>::expand_root(start, options);
+  // subtrees (sorted by descending priority). The root expansion writes
+  // its children straight into the shared table (depth 1), so no worker
+  // can re-reach a seed through a longer path.
+  BasicRootExpansion<Rep> root =
+      BasicSearch<Rep>::expand_root(start, pass_options);
   SynthesisResult result;
   result.initial_terms = start.term_count();
   result.stats = root.stats;
@@ -100,7 +149,7 @@ SynthesisResult run_parallel_impl(const Rep& start,
   // The wall budget covers the whole pass: workers get what the root
   // expansion left, measured from their own start, so the pass-level
   // deadline holds without a shared clock.
-  SynthesisOptions worker_base = options;
+  SynthesisOptions worker_base = pass_options;
   if (options.time_limit.count() > 0) {
     const auto spent = std::chrono::duration_cast<std::chrono::milliseconds>(
         Clock::now() - wall_start);
@@ -119,22 +168,54 @@ SynthesisResult run_parallel_impl(const Rep& start,
     return result;
   }
 
-  // Phase 2: partition the subtrees round-robin by priority across the
-  // workers — never more workers than subtrees.
-  const int num_workers = std::max(
-      1, std::min<int>(requested, static_cast<int>(root.seeds.size())));
-  detail::SharedSearchContext shared(options.tt_shards, remaining_budget);
-  // The root expansion enqueued these states through its (discarded) local
-  // table; re-seed the shared one so no worker can re-reach a peer's seed
-  // through a different path.
-  for (const BasicRootSeed<Rep>& seed : root.seeds) {
-    shared.seen.check_and_insert(seed.state.hash(), 1);
+  // Phase 2, lazy SMP: every worker adopts ALL first-level subtrees — no
+  // static partition to strand — and diversifies its exploration order
+  // instead. Worker 0 keeps the canonical descending-priority order and
+  // no jitter (the sequential engine's order); worker w rotates the seed
+  // vector by w steps (restarts re-seed from different alternatives) and
+  // prices candidates with its own deterministic jitter. The shared TT
+  // then deduplicates: the first worker to a state claims it, peers prune
+  // and diverge. More workers than subtrees adds pure duplication, so the
+  // cap stays; likewise more workers than hardware threads only time-slice
+  // the cores and re-derive each other's states, so the count is clamped
+  // to hardware_concurrency unless oversubscription is explicitly allowed
+  // (tests exercising multi-worker paths on small hosts).
+  int capped = std::min<int>(requested, static_cast<int>(root.seeds.size()));
+  if (!options.allow_oversubscription) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw > 0) capped = std::min<int>(capped, static_cast<int>(hw));
   }
-  std::vector<std::vector<BasicRootSeed<Rep>>> partitions(
+  const int num_workers = std::max(1, capped);
+  detail::SharedSearchContext shared(pass_tt, remaining_budget);
+
+  // Per-worker seed vectors are prepared before any thread starts (the
+  // workers would otherwise race on root.seeds). Worker 0 keeps the
+  // canonical order untouched; worker w > 0 rotates by w and perturbs the
+  // entry priorities with its jitter seed so its heap pops the shared
+  // entry points in a different order from the first node on.
+  std::vector<std::vector<BasicRootSeed<Rep>>> worker_seeds(
       static_cast<std::size_t>(num_workers));
-  for (std::size_t i = 0; i < root.seeds.size(); ++i) {
-    partitions[i % static_cast<std::size_t>(num_workers)].push_back(
-        std::move(root.seeds[i]));
+  for (int w = num_workers - 1; w >= 0; --w) {
+    std::vector<BasicRootSeed<Rep>>& seeds =
+        worker_seeds[static_cast<std::size_t>(w)];
+    if (w == 0) {
+      seeds = std::move(root.seeds);
+      continue;
+    }
+    seeds = root.seeds;
+    const std::uint64_t jitter = worker_jitter_seed(w);
+    std::rotate(seeds.begin(),
+                seeds.begin() + static_cast<std::ptrdiff_t>(
+                                    static_cast<std::size_t>(w) %
+                                    seeds.size()),
+                seeds.end());
+    for (BasicRootSeed<Rep>& seed : seeds) {
+      const std::uint64_t mix = splitmix64(
+          jitter ^ static_cast<std::uint64_t>(seed.gate.controls) ^
+          (static_cast<std::uint64_t>(seed.gate.target) << 56));
+      seed.priority += 0.03 * (static_cast<double>(mix >> 40) /
+                               static_cast<double>(std::uint64_t{1} << 24));
+    }
   }
 
   // Existing sinks are single-threaded by contract; serialize the workers
@@ -150,14 +231,20 @@ SynthesisResult run_parallel_impl(const Rep& start,
       SynthesisOptions wopts = worker_base;
       wopts.num_threads = 1;
       wopts.max_nodes = 0;  // the shared budget governs, not the local one
+      wopts.order_jitter = worker_jitter_seed(w);
+      // Worker 0 searches with sequential-exact dedup semantics: only its
+      // own (and the root expansion's) entries prune it. Helpers keep the
+      // claim-based semantics that spread them across the tree.
+      wopts.tt_owner = w == 0 ? kCanonicalOwner : std::uint8_t{0};
+      wopts.tt_own_only = w == 0;
       wopts.trace_sink =
           options.trace_sink != nullptr ? &sync_sink : nullptr;
       wopts.phase_profile = options.phase_profile != nullptr
                                 ? &profiles[static_cast<std::size_t>(w)]
                                 : nullptr;
-      BasicSearch<Rep> search(start, wopts,
-                              std::move(partitions[static_cast<std::size_t>(w)]),
-                              &shared);
+      BasicSearch<Rep> search(
+          start, wopts,
+          std::move(worker_seeds[static_cast<std::size_t>(w)]), &shared);
       worker_results[static_cast<std::size_t>(w)] = search.run();
     });
   }
@@ -190,9 +277,28 @@ SynthesisResult run_parallel_impl(const Rep& start,
     result.success = true;
     result.circuit =
         std::move(worker_results[static_cast<std::size_t>(best)].circuit);
+    // The winning worker's local count: a lower bound on the pass-wide
+    // effort, but the only well-defined one without a shared clock.
+    result.stats.nodes_at_best =
+        worker_results[static_cast<std::size_t>(best)].stats.nodes_at_best;
   }
   result.stats.workers = static_cast<std::uint64_t>(num_workers);
-  result.stats.tt_shard_hits = shared.seen.hit_counts();
+  if (pass_tt != nullptr) {
+    // Whole-pass table traffic (root expansion + all workers) as a delta
+    // against the pass start, so a driver sharing one table across passes
+    // can still sum per-pass stats without double counting. Overwrites —
+    // the root expansion's own delta is already inside this one.
+    const TranspositionTable::Snapshot tt_after = pass_tt->snapshot();
+    result.stats.tt_inserts = tt_after.inserts - tt_before.inserts;
+    result.stats.tt_evictions = tt_after.evictions - tt_before.evictions;
+    result.stats.tt_generation = pass_tt->generation();
+    result.stats.tt_shard_hits.assign(tt_after.stripe_hits.size(), 0);
+    for (std::size_t i = 0; i < tt_after.stripe_hits.size(); ++i) {
+      result.stats.tt_shard_hits[i] =
+          tt_after.stripe_hits[i] -
+          (i < tt_before.stripe_hits.size() ? tt_before.stripe_hits[i] : 0);
+    }
+  }
   result.stats.elapsed = wall_since(wall_start);  // wall clock, not CPU sum
   return result;
 }

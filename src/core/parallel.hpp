@@ -1,25 +1,34 @@
 /// \file parallel.hpp
-/// \brief The parallel best-first search engine (docs/parallelism.md).
+/// \brief The lazy-SMP parallel best-first search engine
+///        (docs/parallelism.md).
 ///
-/// The paper's search is embarrassingly parallel at the root: the restart
-/// heuristic already treats first-level substitutions as independent entry
-/// points. The parallel engine makes that literal — phase 1 expands the
-/// root sequentially, phase 2 partitions the first-level subtrees
-/// round-robin by priority across a worker pool. Each worker runs the
-/// unmodified sequential search over its subtrees (own heap, node arena
-/// and Pprm pool); the workers coordinate through exactly three shared
-/// structures:
+/// The engine borrows the coordination model of modern chess searchers:
+/// phase 1 expands the root sequentially and harvests the first-level
+/// subtrees; phase 2 gives EVERY worker the full set of subtrees — not a
+/// static partition — with a diversified ordering per worker (rotated
+/// root order plus a deterministic per-worker priority jitter,
+/// SynthesisOptions::order_jitter). Workers coordinate implicitly through
+/// exactly three shared structures:
 ///
-///   * SharedBound      — atomic best solution depth; one worker's circuit
-///                        immediately tightens every worker's
-///                        `bestDepth - 1` pruning.
-///   * ShardedSeenTable — striped-mutex transposition table keyed by
-///                        Pprm::hash(), so workers never re-explore a
-///                        state a peer already enqueued at the same or a
-///                        shallower depth.
+///   * SharedBound        — atomic best solution depth; one worker's
+///                          circuit immediately tightens every worker's
+///                          `bestDepth - 1` pruning.
+///   * TranspositionTable — the bounded bucketized table of
+///                          core/transposition.hpp. The first worker to
+///                          reach a state claims it; every peer re-reaching
+///                          it at the same or a deeper depth prunes and
+///                          diverges to unexplored lines. This is what
+///                          turns N copies of the same root into N
+///                          complementary searches (lazy SMP).
 ///   * the node budget + stop flag — SynthesisOptions::max_nodes is a
-///                        global budget drawn from atomically; the stop
-///                        flag ends every worker when stop-at-first fires.
+///                          global budget drawn from atomically; the stop
+///                          flag ends every worker when stop-at-first
+///                          fires.
+///
+/// Compared to the static round-robin partition this replaces, no worker
+/// can strand a subtree by going idle (everyone holds every entry point),
+/// and the busiest lines are deduplicated through the TT instead of
+/// pre-assigned.
 ///
 /// `SynthesisOptions::num_threads == 1` never enters this file — the
 /// sequential engine runs unchanged and bit-identically.
@@ -28,11 +37,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
-#include <unordered_map>
-#include <vector>
 
 #include "core/options.hpp"
+#include "core/transposition.hpp"
 #include "rev/pprm.hpp"
 
 namespace rmrls {
@@ -67,95 +74,16 @@ class SharedBound {
   std::atomic<int> best_{-1};
 };
 
-/// Striped-mutex transposition table: best depth at which each PPRM hash
-/// was enqueued by any worker. Shard = independently locked map, picked by
-/// a remix of the state hash, so contention falls roughly linearly with
-/// the shard count. Same depth-aware rule as the sequential table: a
-/// rediscovery at the same or a larger depth is redundant, a shallower one
-/// must be re-expanded or optimality suffers.
-class ShardedSeenTable {
- public:
-  explicit ShardedSeenTable(int shards)
-      : shards_(static_cast<std::size_t>(shards < 1 ? 1 : shards)) {}
-
-  ShardedSeenTable(const ShardedSeenTable&) = delete;
-  ShardedSeenTable& operator=(const ShardedSeenTable&) = delete;
-
-  /// Returns true when the state should be pruned (already seen at the
-  /// same or a shallower depth); otherwise records `depth` and returns
-  /// false.
-  bool check_and_insert(std::size_t hash, std::int32_t depth) {
-    Shard& s = shards_[shard_of(hash)];
-    const std::lock_guard<std::mutex> lock(s.m);
-    const auto [it, inserted] = s.map.try_emplace(hash, depth);
-    if (inserted) return false;
-    if (it->second <= depth) {
-      ++s.hits;
-      return true;
-    }
-    it->second = depth;
-    return false;
-  }
-
-  /// Duplicate hits per shard (for SynthesisStats::tt_shard_hits).
-  [[nodiscard]] std::vector<std::uint64_t> hit_counts() const {
-    std::vector<std::uint64_t> out;
-    out.reserve(shards_.size());
-    for (const Shard& s : shards_) {
-      const std::lock_guard<std::mutex> lock(s.m);
-      out.push_back(s.hits);
-    }
-    return out;
-  }
-
-  /// Live occupancy across all shards (telemetry `search.tt_entries`
-  /// gauge). Point-in-time under concurrency: each shard is read under
-  /// its own lock, not the table as a whole.
-  [[nodiscard]] std::uint64_t entry_count() const {
-    std::uint64_t total = 0;
-    for (const Shard& s : shards_) {
-      const std::lock_guard<std::mutex> lock(s.m);
-      total += s.map.size();
-    }
-    return total;
-  }
-
-  /// Total duplicate hits across all shards (telemetry
-  /// `search.tt_shard_hits` gauge).
-  [[nodiscard]] std::uint64_t total_hits() const {
-    std::uint64_t total = 0;
-    for (const Shard& s : shards_) {
-      const std::lock_guard<std::mutex> lock(s.m);
-      total += s.hits;
-    }
-    return total;
-  }
-
- private:
-  /// One cache line per shard header so neighbouring locks don't
-  /// false-share.
-  struct alignas(64) Shard {
-    mutable std::mutex m;
-    std::unordered_map<std::size_t, std::int32_t> map;
-    std::uint64_t hits = 0;
-  };
-
-  [[nodiscard]] std::size_t shard_of(std::size_t hash) const {
-    // Remix before reducing: Pprm::hash()'s low bits also drive the
-    // per-shard map's bucketing.
-    return static_cast<std::size_t>(splitmix64(hash)) % shards_.size();
-  }
-
-  std::vector<Shard> shards_;
-};
-
-/// Everything the workers of one parallel search pass share.
+/// Everything the workers of one parallel search pass share. The
+/// transposition table is borrowed, never owned: the pass either inherits
+/// the driver's pass-spanning table (SynthesisOptions::tt) or the engine
+/// function stack-allocates one for the pass.
 struct SharedSearchContext {
-  explicit SharedSearchContext(int shards, std::uint64_t node_limit_in)
-      : seen(shards), node_limit(node_limit_in) {}
+  SharedSearchContext(TranspositionTable* tt_in, std::uint64_t node_limit_in)
+      : tt(tt_in), node_limit(node_limit_in) {}
 
   SharedBound bound;
-  ShardedSeenTable seen;
+  TranspositionTable* tt = nullptr;
   /// Global node budget (0 = unlimited): every worker pop draws one token.
   std::atomic<std::uint64_t> nodes_spent{0};
   std::uint64_t node_limit = 0;

@@ -10,6 +10,19 @@ namespace rmrls {
 
 namespace {
 using Clock = std::chrono::steady_clock;
+
+/// Amplitude of the lazy-SMP priority jitter (options.order_jitter):
+/// comparable to one gamma-weighted literal — enough to reorder
+/// near-ties between workers, never enough to override a clear eq.-4
+/// preference.
+constexpr double kJitterAmplitude = 0.03;
+
+/// History payout for a child that pushes the run's fewest-remaining-terms
+/// frontier (search.hpp best_terms_). Small next to solution-path payouts
+/// (256 / depth per gate) so real solutions still dominate the ordering —
+/// progress rewards only have to break the cold start when no solution
+/// exists yet.
+constexpr std::uint32_t kProgressReward = 4;
 }
 
 template <class Rep>
@@ -21,6 +34,9 @@ BasicSearch<Rep>::BasicSearch(Rep start, SynthesisOptions options)
       cancel_(options.cancel_token),
       sink_(options.trace_sink),
       profile_(options.phase_profile) {
+  best_terms_ = initial_terms_;
+  init_tt();
+  init_history();
   init_telemetry();
 }
 
@@ -37,7 +53,36 @@ BasicSearch<Rep>::BasicSearch(Rep start, SynthesisOptions options,
       cancel_(options.cancel_token),
       sink_(options.trace_sink),
       profile_(options.phase_profile) {
+  best_terms_ = initial_terms_;
+  init_tt();
+  init_history();
   init_telemetry();
+}
+
+template <class Rep>
+void BasicSearch<Rep>::init_tt() {
+  if (!options_.use_transposition_table) return;
+  if (shared_ != nullptr) {
+    tt_ = shared_->tt;  // one table per parallel pass, borrowed
+    return;
+  }
+  if (options_.tt != nullptr) {
+    tt_ = options_.tt;  // the driver's pass-spanning table
+    return;
+  }
+  owned_tt_ = std::make_unique<TranspositionTable>(
+      options_.tt_mb, options_.tt_shards, options_.tt_replacement);
+  tt_ = owned_tt_.get();
+}
+
+template <class Rep>
+void BasicSearch<Rep>::init_history() {
+  if (!options_.use_history) return;
+  history_ = options_.history;
+  if (history_ == nullptr) {
+    owned_history_ = std::make_unique<HistoryTable>();
+    history_ = owned_history_.get();
+  }
 }
 
 template <class Rep>
@@ -48,6 +93,9 @@ void BasicSearch<Rep>::init_telemetry() {
     tele_queue_ = &t->gauge("search.queue_depth");
     tele_tt_ = &t->gauge("search.tt_entries");
     tele_tt_hits_ = &t->gauge("search.tt_shard_hits");
+    tele_tt_evictions_ = &t->gauge("search.tt_evictions");
+    tele_tt_generation_ = &t->gauge("search.tt_generation");
+    tele_history_hits_ = &t->gauge("search.history_hits");
   }
 }
 
@@ -55,16 +103,17 @@ template <class Rep>
 void BasicSearch<Rep>::sample_telemetry() {
   // Workers of one parallel pass all write these gauges; last writer wins,
   // which is fine for an instantaneous "what is the engine doing" signal.
-  // TT occupancy is exact for the sequential table and a point-in-time
-  // sum over the shards for the shared one.
+  // The TT gauges are point-in-time sums over the table's stripes —
+  // sequential and lazy-SMP passes read the same bounded table either
+  // way.
   tele_queue_->set(static_cast<std::int64_t>(heap_.size()));
-  if (shared_ != nullptr) {
-    tele_tt_->set(static_cast<std::int64_t>(shared_->seen.entry_count()));
-    tele_tt_hits_->set(static_cast<std::int64_t>(shared_->seen.total_hits()));
-  } else {
-    tele_tt_->set(static_cast<std::int64_t>(seen_.size()));
-    tele_tt_hits_->set(static_cast<std::int64_t>(stats_.pruned_duplicate));
+  if (tt_ != nullptr) {
+    tele_tt_->set(static_cast<std::int64_t>(tt_->entry_count()));
+    tele_tt_hits_->set(static_cast<std::int64_t>(tt_->total_hits()));
+    tele_tt_evictions_->set(static_cast<std::int64_t>(tt_->evictions()));
+    tele_tt_generation_->set(static_cast<std::int64_t>(tt_->generation()));
   }
+  tele_history_hits_->set(static_cast<std::int64_t>(stats_.history_hits));
 }
 
 template <class Rep>
@@ -109,12 +158,34 @@ typename BasicSearch<Rep>::QueueEntry BasicSearch<Rep>::pop_entry() {
 
 template <class Rep>
 double BasicSearch<Rep>::priority_of(int depth, int elim_stage, int elim_total,
-                                     Cube factor) const {
+                                     int target, Cube factor) {
   const double elim = options_.cumulative_elim_priority
                           ? static_cast<double>(elim_total)
                           : static_cast<double>(elim_stage);
-  return options_.alpha * depth + options_.beta * elim / depth -
-         options_.gamma * literal_count(factor);
+  double p = options_.alpha * depth + options_.beta * elim / depth -
+             options_.gamma * literal_count(factor);
+  if (history_ != nullptr) {
+    const double bonus = history_->bonus(target, factor);
+    if (bonus > 0.0) {
+      ++stats_.history_hits;
+      p += options_.history_weight * bonus;
+    }
+  }
+  if (options_.order_jitter != 0) {
+    // Deterministic per-(worker, candidate) noise in [0, kJitterAmplitude):
+    // the lazy-SMP order diversification (docs/parallelism.md). Seeded
+    // from the worker's jitter seed and the candidate identity only, so a
+    // given worker re-prices a candidate identically every time.
+    const std::uint64_t mix = splitmix64(
+        options_.order_jitter ^ static_cast<std::uint64_t>(factor) ^
+        (static_cast<std::uint64_t>(static_cast<unsigned>(target)) << 56) ^
+        (static_cast<std::uint64_t>(static_cast<unsigned>(depth)) *
+         0x9e3779b97f4a7c15ull));
+    p += kJitterAmplitude *
+         (static_cast<double>(mix >> 40) /
+          static_cast<double>(std::uint64_t{1} << 24));
+  }
+  return p;
 }
 
 template <class Rep>
@@ -143,9 +214,11 @@ bool BasicSearch<Rep>::record_solution(std::int32_t parent, const Gate& gate,
                           ? shared_->bound.try_improve(child_depth)
                           : best_depth_ < 0 || child_depth < best_depth_;
   if (!record) return false;
+  reward_solution_path(parent, gate, child_depth);
   arena_.push_back({parent, gate, child_depth, exempt_count, false});
   best_node_ = static_cast<std::int32_t>(arena_.size()) - 1;
   best_depth_ = child_depth;
+  stats_.nodes_at_best = stats_.nodes_expanded;
   ++stats_.solutions_found;
   if (tele_solutions_ != nullptr) tele_solutions_->inc();
   pops_since_improvement_ = 0;
@@ -156,6 +229,21 @@ bool BasicSearch<Rep>::record_solution(std::int32_t parent, const Gate& gate,
   e.gates = child_depth;
   emit(e);
   return true;
+}
+
+template <class Rep>
+void BasicSearch<Rep>::reward_solution_path(std::int32_t parent,
+                                            const Gate& gate,
+                                            int child_depth) {
+  if (history_ == nullptr) return;
+  // Shallower solutions are stronger evidence, so they pay out more; the
+  // driver's decay() between passes keeps old payouts from dominating.
+  const std::uint32_t amount = static_cast<std::uint32_t>(
+      child_depth > 0 ? std::max(1, 256 / child_depth) : 256);
+  history_->reward(gate.target, gate.controls, amount);
+  for (std::int32_t n = parent; n > 0; n = arena_[n].parent) {
+    history_->reward(arena_[n].gate.target, arena_[n].gate.controls, amount);
+  }
 }
 
 template <class Rep>
@@ -200,7 +288,14 @@ bool BasicSearch<Rep>::expand(QueueEntry entry) {
       ce.terms = entry.terms + delta;
       ce.elim = -delta;
       ce.priority = priority_of(child_depth, ce.elim,
-                                initial_terms_ - ce.terms, cand.factor);
+                                initial_terms_ - ce.terms, cand.target,
+                                cand.factor);
+      if (history_ != nullptr && ce.terms < best_terms_) {
+        // Progress frontier pushed (see search.hpp best_terms_): reward
+        // the factor even though no solution was reached through it yet.
+        best_terms_ = ce.terms;
+        history_->reward(cand.target, cand.factor, kProgressReward);
+      }
       if (ce.terms == num_vars_) {
         // Only a system with exactly one term per output can be the
         // identity; confirm by materializing (into a pooled system).
@@ -320,23 +415,13 @@ bool BasicSearch<Rep>::expand(QueueEntry entry) {
       entry.state.substitute_into(ce.cand.target, ce.cand.factor,
                                   materialized);
     }
-    if (options_.use_transposition_table) {
-      const std::size_t state_hash = materialized.hash();
-      bool duplicate = false;
-      if (shared_ != nullptr) {
-        duplicate = shared_->seen.check_and_insert(state_hash, child_depth);
-      } else {
-        const auto [it, inserted] =
-            seen_.try_emplace(state_hash, child_depth);
-        if (!inserted) {
-          if (it->second <= child_depth) {
-            duplicate = true;
-          } else {
-            it->second = child_depth;
-          }
-        }
-      }
-      if (duplicate) {
+    if (tt_ != nullptr) {
+      // One bounded table serves both engines: sequential passes and
+      // lazy-SMP workers go through the same generation-aware depth rule
+      // (core/transposition.hpp); a shallower rediscovery overwrites and
+      // re-expands, never prunes.
+      if (tt_->check_and_insert(materialized.hash(), child_depth,
+                                options_.tt_owner, options_.tt_own_only)) {
         ++stats_.pruned_duplicate;
         emit_prune(PruneReason::kDuplicate, child_depth, ce.terms);
         pool_.release(std::move(materialized));
@@ -443,6 +528,14 @@ SynthesisResult BasicSearch<Rep>::run() {
   if (options_.time_limit.count() > 0) {
     deadline_ = run_start_ + options_.time_limit;
     deadline_armed_ = true;
+  }
+  // Sequential runs report the table-traffic delta of this run; a shared
+  // (possibly pass-spanning) table may already hold counters from earlier
+  // passes. Lazy-SMP workers skip this — the parallel engine accounts the
+  // whole pass once (parallel.cpp).
+  if (tt_ != nullptr && shared_ == nullptr) {
+    tt_inserts_base_ = tt_->inserts();
+    tt_evictions_base_ = tt_->evictions();
   }
 
   {
@@ -568,6 +661,11 @@ SynthesisResult BasicSearch<Rep>::run() {
   stats_.elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
       Clock::now() - run_start_);
   stats_.cancelled = termination_ == TerminationReason::kCancelled;
+  if (tt_ != nullptr && shared_ == nullptr) {
+    stats_.tt_inserts = tt_->inserts() - tt_inserts_base_;
+    stats_.tt_evictions = tt_->evictions() - tt_evictions_base_;
+    stats_.tt_generation = tt_->generation();
+  }
   result.stats = stats_;
   result.termination = termination_;
   if (best_node_ >= 0) {

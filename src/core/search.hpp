@@ -19,12 +19,14 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "core/cancel.hpp"
 #include "core/factor_enum.hpp"
+#include "core/history.hpp"
 #include "core/options.hpp"
+#include "core/transposition.hpp"
 #include "obs/phase_profile.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -170,8 +172,12 @@ class BasicSearch {
 
   void restart();
 
+  /// Eq. (4) plus the engineering layers on top: the normalized history
+  /// bonus (options_.history_weight, counted in stats_.history_hits) and
+  /// the deterministic lazy-SMP jitter (options_.order_jitter). Non-const
+  /// only for the history-hit counter.
   [[nodiscard]] double priority_of(int depth, int elim_stage, int elim_total,
-                                   Cube factor) const;
+                                   int target, Cube factor);
 
   [[nodiscard]] Circuit extract_circuit(std::int32_t leaf) const;
 
@@ -203,12 +209,38 @@ class BasicSearch {
 
   std::int32_t best_node_ = -1;
   int best_depth_ = -1;
+  /// Fewest remaining terms any priced child has reached this run — the
+  /// progress frontier. A child that pushes it earns its (target, factor
+  /// class) a small history reward even before any solution exists: the
+  /// cutoff analogue of the chess history heuristic, and what lets a
+  /// failed narrow-scope scout train the ordering the broad-scope retry
+  /// starts from (the history table spans driver passes).
+  int best_terms_ = 0;
 
-  /// Transposition table: best depth at which each state hash was
-  /// enqueued. A state reached again at the same or a larger depth is
-  /// redundant, but a shallower rediscovery must be re-expanded or
-  /// optimality suffers.
-  std::unordered_map<std::size_t, std::int32_t> seen_;
+  /// Transposition table (core/transposition.hpp): bounded bucketized
+  /// {hash, depth, generation} entries. Resolution order (init_tt): the
+  /// shared context's table in worker mode, the caller's pass-spanning
+  /// table (SynthesisOptions::tt), else a table this search owns. Null
+  /// when use_transposition_table is off.
+  TranspositionTable* tt_ = nullptr;
+  std::unique_ptr<TranspositionTable> owned_tt_;
+  /// Cumulative table counters at run() start; sequential runs report the
+  /// delta in stats_ (workers leave it to the parallel engine, which
+  /// accounts the whole pass once).
+  std::uint64_t tt_inserts_base_ = 0;
+  std::uint64_t tt_evictions_base_ = 0;
+
+  /// History heuristic (core/history.hpp): shared across passes when the
+  /// driver installs SynthesisOptions::history, else owned (learning
+  /// within this run only). Null when use_history is off.
+  HistoryTable* history_ = nullptr;
+  std::unique_ptr<HistoryTable> owned_history_;
+  void init_tt();
+  void init_history();
+  /// Credits every gate on a newly recorded solution path (the history
+  /// heuristic's learning signal).
+  void reward_solution_path(std::int32_t parent, const Gate& gate,
+                            int child_depth);
 
   SynthesisStats stats_;
   TerminationReason termination_ = TerminationReason::kQueueExhausted;
@@ -260,6 +292,9 @@ class BasicSearch {
   Gauge* tele_queue_ = nullptr;
   Gauge* tele_tt_ = nullptr;
   Gauge* tele_tt_hits_ = nullptr;
+  Gauge* tele_tt_evictions_ = nullptr;
+  Gauge* tele_tt_generation_ = nullptr;
+  Gauge* tele_history_hits_ = nullptr;
   void init_telemetry();
   /// Periodic gauge refresh (queue depth, TT occupancy/hits), called
   /// every 64 pops from the run loop; needs parallel.hpp so it lives in

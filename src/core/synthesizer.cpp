@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <random>
 
+#include "core/history.hpp"
 #include "core/parallel.hpp"
+#include "core/transposition.hpp"
 #include "obs/phase_profile.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "rev/pprm_transform.hpp"
 #include "rev/quantum_cost.hpp"
@@ -73,27 +77,151 @@ SynthesisResult synthesize(const Pprm& spec, const SynthesisOptions& options) {
            std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
                                                                  wall_start);
   };
+
+  // Pass-spanning search state (the chess-engine loop, docs/parallelism.md):
+  // one bounded transposition table and one history table serve every pass
+  // of this call — the iterative-deepening ladder, the broad-scope retry
+  // and the refinement reruns. next_pass() bumps the table generation (old
+  // entries stop pruning and become preferred eviction victims) and decays
+  // the history scores between passes.
+  SynthesisOptions base = options;
+  std::unique_ptr<TranspositionTable> owned_tt;
+  if (base.use_transposition_table && base.tt == nullptr) {
+    owned_tt = std::make_unique<TranspositionTable>(
+        base.tt_mb, base.tt_shards, base.tt_replacement);
+    base.tt = owned_tt.get();
+  }
+  std::unique_ptr<HistoryTable> owned_history;
+  if (base.use_history && base.history == nullptr) {
+    owned_history = std::make_unique<HistoryTable>();
+    base.history = owned_history.get();
+  }
+  const auto next_pass = [&base]() {
+    if (base.tt != nullptr) base.tt->new_generation();
+    if (base.history != nullptr) base.history->decay();
+  };
+  // "The previous iteration's circuit seeds the next iteration's move
+  // ordering": after the inter-pass decay, re-reward the best circuit's
+  // gates so the next pass tries their (target, factor-class) cells first.
+  const auto seed_history = [&base](const Circuit& c) {
+    if (base.history == nullptr) return;
+    for (const Gate& g : c.gates()) {
+      base.history->reward(g.target, g.controls, 64);
+    }
+  };
+
   const bool refine =
       options.iterative_refinement && !options.stop_at_first_solution;
-  SynthesisOptions first = options;
-  if (refine && options.max_nodes > 0) {
-    first.max_nodes = std::max<std::uint64_t>(options.max_nodes / 2, 1);
+  // Iterative deepening needs an unconstrained gate cap to ladder over; a
+  // caller-set max_gates is already a (single) rung. The ladder itself is
+  // complete — its final rung drops the cap — so it runs with or without
+  // the refinement driver on top.
+  const bool use_id = base.iterative_deepening && options.max_gates == 0;
+
+  std::uint64_t id_iterations = 1;
+  SynthesisResult result;
+  if (!use_id) {
+    SynthesisOptions first = base;
+    if (refine && options.max_nodes > 0) {
+      first.max_nodes = std::max<std::uint64_t>(options.max_nodes / 2, 1);
+    }
+    result = run_search(spec, first);
+  } else {
+    // Iterative deepening on the max-gates bound. Chess ladders climb
+    // from depth 1 because a depth-d tree is exponentially cheaper than
+    // depth d+1; RMRLS inverts that — branching is huge and solutions
+    // deep, so a too-small cap forces a near-complete enumeration of the
+    // shallow space and costs MORE than finding a solution outright. The
+    // opening rung therefore starts from an informed upper bound (every
+    // substitution eliminates at least one PPRM term on the quality path,
+    // so term_count gates generously over-covers the first solution)
+    // which prunes only genuine junk dives below it; a rung that
+    // exhausts its queue without a solution doubles the cap, and the
+    // final rung (cap off) restores completeness. Each rung gets half
+    // the remaining node budget, so the ladder can never starve the
+    // broad-scope retry or the refinement loop below. Successful
+    // iterations continue downward as the tightening loop at the end of
+    // this function — each pass re-seeded with the best circuit's
+    // history — which is the productive direction of the ladder.
+    int cap = std::max(spec.num_vars(), spec.term_count());
+    bool have = false;
+    for (std::uint64_t iter = 1;; ++iter) {
+      if (iter > 1) next_pass();
+      SynthesisOptions rung = base;
+      const bool final_rung = cap >= kMaxVariables;
+      rung.max_gates = final_rung ? 0 : cap;
+      // Halving each rung's budget keeps a failed ladder from starving
+      // what follows — but the final rung of an unrefined run IS the
+      // whole remaining search (nothing follows), so it gets everything.
+      const bool last_stage = final_rung && !refine;
+      if (options.max_nodes > 0) {
+        const std::uint64_t spent = have ? result.stats.nodes_expanded : 0;
+        if (spent >= options.max_nodes) {
+          result.termination = TerminationReason::kNodeBudget;
+          break;
+        }
+        const std::uint64_t left = options.max_nodes - spent;
+        rung.max_nodes = std::max<std::uint64_t>(last_stage ? left : left / 2,
+                                                 1);
+      }
+      if (timed) {
+        const auto left = remaining();
+        if (left.count() <= 0) {
+          result.termination = TerminationReason::kTimeLimit;
+          break;
+        }
+        rung.time_limit = std::max<std::chrono::milliseconds>(
+            last_stage ? left : left / 2, std::chrono::milliseconds{1});
+      }
+      // Published per rung (not just at the end) so heartbeats see the
+      // ladder advance while the run is still in flight.
+      if (Telemetry* t = Telemetry::active()) {
+        t->gauge("search.id_iterations").set(static_cast<std::int64_t>(iter));
+      }
+      SynthesisResult r = run_search(spec, rung);
+      if (r.success && have) {
+        r.stats.nodes_at_best += result.stats.nodes_expanded;
+      }
+      if (have) accumulate_stats(r.stats, result.stats);
+      result = std::move(r);
+      have = true;
+      id_iterations = iter;
+      if (result.success) break;
+      if (final_rung) break;
+      if (result.termination != TerminationReason::kQueueExhausted) {
+        // Budget, deadline or cancellation mid-ladder: deepening would
+        // only re-pay what this rung already burned; hand what is left to
+        // the retry / refinement stages.
+        break;
+      }
+      cap *= 2;
+    }
+    result.stats.id_iterations = id_iterations;
   }
-  SynthesisResult result = run_search(spec, first);
-  if (!refine) return result;
+  if (!refine) {
+    if (Telemetry* t = Telemetry::active()) {
+      t->gauge("search.id_iterations")
+          .set(static_cast<std::int64_t>(result.stats.id_iterations));
+    }
+    return result;
+  }
   // A user cancellation ends the whole driver, never just the pass.
   if (result.termination == TerminationReason::kCancelled) return result;
-  SynthesisOptions scope = options;  // options for the refinement reruns
+  SynthesisOptions scope = base;  // options for the refinement reruns
   if (!result.success) {
-    // The scouting run found nothing: spend the rest of the budget on one
-    // attempt with the broad exemption scope, which reaches functions the
-    // quality-tuned scope provably cannot.
-    if (options.max_nodes == 0 ||
+    // The ladder / scouting run found nothing: spend the rest of the
+    // budget on one attempt with the broad exemption scope, which reaches
+    // functions the quality-tuned scope provably cannot. max_nodes == 0
+    // is "unlimited", not "spent" — a purely time-limited run still gets
+    // its retry from what is left on the clock.
+    if (options.max_nodes > 0 &&
         result.stats.nodes_expanded >= options.max_nodes) {
       return result;
     }
-    SynthesisOptions rest = options;
-    rest.max_nodes = options.max_nodes - result.stats.nodes_expanded;
+    SynthesisOptions rest = base;
+    rest.max_nodes = options.max_nodes > 0
+                         ? options.max_nodes - result.stats.nodes_expanded
+                         : 0;
     rest.iterative_refinement = false;
     rest.exempt_scope = SynthesisOptions::ExemptScope::kAny;
     if (timed) {
@@ -104,14 +232,19 @@ SynthesisResult synthesize(const Pprm& spec, const SynthesisOptions& options) {
       }
       rest.time_limit = left;
     }
+    next_pass();
     SynthesisResult retry = run_search(spec, rest);
+    if (retry.success) {
+      retry.stats.nodes_at_best += result.stats.nodes_expanded;
+    }
     accumulate_stats(retry.stats, result.stats);
     if (!retry.success) return retry;
     result = std::move(retry);
     scope.exempt_scope = SynthesisOptions::ExemptScope::kAny;
   }
   // Iterative tightening: rerun with a cap one below the best size so far;
-  // each rerun spends what is left of the node budget.
+  // each rerun spends what is left of the node budget, against a fresh
+  // table generation, with the best circuit seeding the history ordering.
   while (result.circuit.gate_count() > 1) {
     if (result.termination == TerminationReason::kCancelled) break;
     SynthesisOptions tighter = scope;
@@ -133,12 +266,24 @@ SynthesisResult synthesize(const Pprm& spec, const SynthesisOptions& options) {
     tighter.max_gates = result.circuit.gate_count() - 1;
     tighter.iterative_refinement = false;
     emit_refinement_round(options, result.circuit.gate_count());
+    next_pass();
+    seed_history(result.circuit);
+    // Tightening reruns are the ladder's productive direction: each one
+    // deepens the search under a one-lower bound with the best circuit
+    // seeding the ordering, so they count as deepening iterations.
+    if (use_id) ++result.stats.id_iterations;
+    const std::uint64_t nodes_before = result.stats.nodes_expanded;
     SynthesisResult next = run_search(spec, tighter);
     accumulate_stats(result.stats, next.stats);
     // The last pass executed is why the overall synthesis stopped looking.
     result.termination = next.termination;
     if (!next.success) break;
+    result.stats.nodes_at_best = nodes_before + next.stats.nodes_at_best;
     result.circuit = std::move(next.circuit);
+  }
+  if (Telemetry* t = Telemetry::active()) {
+    t->gauge("search.id_iterations")
+        .set(static_cast<std::int64_t>(result.stats.id_iterations));
   }
   return result;
 }
@@ -186,6 +331,7 @@ SynthesisResult synthesize_bidirectional(const TruthTable& spec,
     rest.time_limit = left;
   }
   SynthesisResult backward = synthesize(spec.inverse(), rest);
+  const std::uint64_t forward_nodes = forward.stats.nodes_expanded;
   accumulate_stats(forward.stats, backward.stats);
   forward.termination = backward.termination;  // the last pass executed
   if (!backward.success) return forward;
@@ -199,6 +345,8 @@ SynthesisResult synthesize_bidirectional(const TruthTable& spec,
     forward.success = true;
     forward.circuit = std::move(mirrored);
     forward.initial_terms = backward.initial_terms;
+    forward.stats.nodes_at_best =
+        forward_nodes + backward.stats.nodes_at_best;
   }
   return forward;
 }

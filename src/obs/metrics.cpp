@@ -69,6 +69,16 @@ MetricsRegistry& MetricsRegistry::add_stats(const SynthesisStats& stats,
   set("representation_switches", stats.representation_switches);
   set("cancelled", stats.cancelled);
   set("watchdog_fired", stats.watchdog_fired);
+  // Chess-engine search core counters (PR 7). Not in the required-key
+  // set, so pre-existing v1 records stay valid; when present they are
+  // checked by validate_metrics_line (evictions <= inserts,
+  // id_iterations >= 1).
+  set("tt_inserts", stats.tt_inserts);
+  set("tt_evictions", stats.tt_evictions);
+  set("tt_generation", stats.tt_generation);
+  set("id_iterations", stats.id_iterations);
+  set("history_hits", stats.history_hits);
+  set("nodes_at_best", stats.nodes_at_best);
   if (!stats.tt_shard_hits.empty()) {
     // Per-shard duplicate hits of the shared transposition table; only
     // parallel runs carry them, so sequential records stay unchanged.

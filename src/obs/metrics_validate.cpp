@@ -167,6 +167,49 @@ bool MetricsValidator::check_v1(const JsonValue& v, const std::string& where) {
                   " batch_jobs");
     }
   }
+  // Optional transposition-table / search-core fields (PR 7). Old records
+  // may omit them entirely, but when the group is present its invariants
+  // hold: a table can only evict slots it inserted into, and every run
+  // makes at least one deepening iteration (non-ID runs report 1).
+  const JsonValue* tt_inserts = v.find("tt_inserts");
+  const JsonValue* tt_evictions = v.find("tt_evictions");
+  if ((tt_inserts == nullptr) != (tt_evictions == nullptr)) {
+    return fail(where, "tt_inserts and tt_evictions must appear together");
+  }
+  if (tt_inserts != nullptr) {
+    if (!tt_inserts->is_number() || tt_inserts->number < 0 ||
+        !tt_evictions->is_number() || tt_evictions->number < 0) {
+      return fail(where,
+                  "tt_inserts/tt_evictions are not non-negative numbers");
+    }
+    if (tt_evictions->number > tt_inserts->number) {
+      return fail(where, "tt_evictions exceeds tt_inserts");
+    }
+  }
+  const JsonValue* tt_generation = v.find("tt_generation");
+  if (tt_generation != nullptr &&
+      (!tt_generation->is_number() || tt_generation->number < 0)) {
+    return fail(where, "tt_generation is not a non-negative number");
+  }
+  const JsonValue* id_iterations = v.find("id_iterations");
+  if (id_iterations != nullptr &&
+      (!id_iterations->is_number() || id_iterations->number < 1)) {
+    return fail(where, "id_iterations is not a number >= 1");
+  }
+  const JsonValue* history_hits = v.find("history_hits");
+  if (history_hits != nullptr &&
+      (!history_hits->is_number() || history_hits->number < 0)) {
+    return fail(where, "history_hits is not a non-negative number");
+  }
+  const JsonValue* nodes_at_best = v.find("nodes_at_best");
+  if (nodes_at_best != nullptr) {
+    const JsonValue* nodes = v.find("nodes_expanded");
+    if (!nodes_at_best->is_number() || nodes_at_best->number < 0 ||
+        nodes == nullptr || !nodes->is_number() ||
+        nodes_at_best->number > nodes->number) {
+      return fail(where, "nodes_at_best is not in [0, nodes_expanded]");
+    }
+  }
   // Optional per-shard transposition hit counts (parallel engine only):
   // an array of non-negative numbers whose sum cannot exceed the total
   // duplicate prunes (sequential passes of the same run may add more).

@@ -20,6 +20,9 @@ SynthesisOptions quick(int threads = 1) {
   SynthesisOptions o;
   o.max_nodes = 50000;
   o.num_threads = threads;
+  // The suite exercises the multi-worker code paths even on small CI
+  // hosts, so the hardware-concurrency clamp is lifted here.
+  o.allow_oversubscription = true;
   return o;
 }
 
@@ -97,6 +100,7 @@ TEST(Parallel, ReportsWorkersAndShardHits) {
 TEST(Parallel, RespectsSharedNodeBudget) {
   SynthesisOptions o;
   o.num_threads = 4;
+  o.allow_oversubscription = true;
   o.max_nodes = 500;
   o.iterative_refinement = false;
   std::mt19937_64 rng(11);
@@ -127,6 +131,7 @@ TEST(Parallel, ShardContentionStress) {
   for (const int shards : {1, 2}) {
     SynthesisOptions o;
     o.num_threads = 8;
+    o.allow_oversubscription = true;
     o.tt_shards = shards;
     o.max_nodes = 20000;
     o.iterative_refinement = false;
@@ -134,6 +139,46 @@ TEST(Parallel, ShardContentionStress) {
     const SynthesisResult r = synthesize(spec, o);
     if (r.success) EXPECT_TRUE(implements(r.circuit, spec));
     ASSERT_EQ(r.stats.tt_shard_hits.size(), static_cast<std::size_t>(shards));
+  }
+}
+
+// Lazy SMP: every worker searches the full root with a diversified
+// ordering, and worker 0 always keeps the canonical (sequential) order.
+// At 8 threads the engine must therefore match or beat the sequential
+// gate count on every tier-1 spec — diversification adds exploration, it
+// never trades the canonical order away.
+TEST(Parallel, LazySmpMatchesSequentialQualityAtEightThreads) {
+  for (const auto& perm : tier1_specs()) {
+    const TruthTable spec(perm);
+    const SynthesisResult seq = synthesize(spec, quick(1));
+    const SynthesisResult par = synthesize(spec, quick(8));
+    ASSERT_TRUE(seq.success);
+    ASSERT_TRUE(par.success);
+    EXPECT_TRUE(implements(par.circuit, spec));
+    EXPECT_LE(par.circuit.gate_count(), seq.circuit.gate_count());
+  }
+}
+
+// Shared-TT stress under eviction pressure: a deliberately tiny table
+// (1 MiB, few stripes) forces all eight lazy-SMP workers through
+// constant insert/evict/refresh traffic on the same buckets. TSan (the
+// `tsan` preset) turns any entry or counter race into a failure; the
+// stats invariants check the striped accounting under contention.
+TEST(Parallel, SharedTinyTableStress) {
+  std::mt19937_64 rng(14);
+  for (int i = 0; i < 2; ++i) {
+    SynthesisOptions o;
+    o.num_threads = 8;
+    o.allow_oversubscription = true;
+    o.tt_shards = 2;
+    o.tt_mb = 1;
+    o.max_nodes = 20000;
+    o.iterative_refinement = false;
+    const TruthTable spec = random_reversible_function(4, rng);
+    const SynthesisResult r = synthesize(spec, o);
+    if (r.success) EXPECT_TRUE(implements(r.circuit, spec));
+    EXPECT_LE(r.stats.tt_evictions, r.stats.tt_inserts);
+    ASSERT_EQ(r.stats.tt_shard_hits.size(), 2u);
   }
 }
 

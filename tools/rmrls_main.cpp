@@ -75,13 +75,32 @@ void help(const char* argv0, std::ostream& os) {
         "  --cbudget N        non-reducing substitutions per path (-1 ="
         " auto)\n"
         "  --restart N        restart interval in expansions (0 = off)\n"
+        "  --queue N          queued-candidate cap (default 2^20); with\n"
+        "                     --tt-mb this bounds the search's resident\n"
+        "                     memory on long runs (overflow counts\n"
+        "                     dropped_queue_full)\n"
         "  --threads N        parallel search workers (default 1 ="
         " sequential\n"
         "                     engine, bit-reproducible; 0 = one per"
         " hardware\n"
         "                     thread); see docs/parallelism.md\n"
-        "  --tt-shards N      shards of the shared transposition table\n"
-        "                     (parallel engine only, default 16)\n"
+        "  --oversubscribe    allow more workers than hardware threads\n"
+        "                     (default: --threads is clamped to the core\n"
+        "                     count; oversubscribed lazy SMP only wastes\n"
+        "                     time re-deriving peers' states)\n"
+        "  --tt-shards N      lock stripes of the shared transposition\n"
+        "                     table (parallel engine only, default 16)\n"
+        "  --tt-mb N          transposition-table memory budget in MiB\n"
+        "                     (default 64); the table is bounded and"
+        " evicts\n"
+        "                     by --tt-policy instead of growing\n"
+        "  --tt-policy P      replacement policy: always | depth | aging\n"
+        "                     (default aging); see docs/parallelism.md\n"
+        "  --no-history       disable the history heuristic (learned\n"
+        "                     (target, factor-class) ordering bonus)\n"
+        "  --no-id            disable iterative deepening on the gate"
+        " bound\n"
+        "                     (single full-depth pass, pre-PR-7 behaviour)\n"
         "  --dense-threshold N\n"
         "                     widest system (in variables) eligible for"
         " the\n"
@@ -290,9 +309,35 @@ int main(int argc, char** argv) {
     } else if (arg == "--threads") {
       options.num_threads = static_cast<int>(num_ll(arg, next()));
       if (options.num_threads < 0) bad_number(arg, std::to_string(options.num_threads));
+    } else if (arg == "--queue") {
+      const long long v = num_ll(arg, next());
+      if (v < 1) bad_number(arg, std::to_string(v));
+      options.max_queue = static_cast<std::size_t>(v);
+    } else if (arg == "--oversubscribe") {
+      options.allow_oversubscription = true;
     } else if (arg == "--tt-shards") {
       options.tt_shards = static_cast<int>(num_ll(arg, next()));
       if (options.tt_shards < 1) bad_number(arg, std::to_string(options.tt_shards));
+    } else if (arg == "--tt-mb") {
+      options.tt_mb = static_cast<int>(num_ll(arg, next()));
+      if (options.tt_mb < 1) bad_number(arg, std::to_string(options.tt_mb));
+    } else if (arg == "--tt-policy") {
+      const std::string s = next();
+      if (s == "always") {
+        options.tt_replacement = TTReplacement::kAlways;
+      } else if (s == "depth") {
+        options.tt_replacement = TTReplacement::kDepthPreferred;
+      } else if (s == "aging") {
+        options.tt_replacement = TTReplacement::kAging;
+      } else {
+        std::cerr << "--tt-policy wants always|depth|aging, got '" << s
+                  << "'\n";
+        return usage(argv[0]);
+      }
+    } else if (arg == "--no-history") {
+      options.use_history = false;
+    } else if (arg == "--no-id") {
+      options.iterative_deepening = false;
     } else if (arg == "--dense-threshold") {
       options.dense_threshold = static_cast<int>(num_ll(arg, next()));
       if (options.dense_threshold < 0) {
