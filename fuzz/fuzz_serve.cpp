@@ -1,0 +1,57 @@
+/// \file fuzz_serve.cpp
+/// \brief Fuzz harness for the serve daemon's wire layer
+/// (docs/serving.md, docs/robustness.md).
+///
+/// The FrameSplitter and parse_request_checked sit directly on untrusted
+/// socket bytes, so they must never throw, trip a sanitizer, or loop on
+/// any input. The harness replays each input twice through the splitter —
+/// once in one feed, once byte-at-a-time like a --slow-ms client — and
+/// requires both framings to agree; every extracted frame then goes
+/// through the request parser, which must return a Status rather than
+/// misbehave.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/frame.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const char* bytes = reinterpret_cast<const char*>(data);
+
+  rmrls::FrameSplitter bulk;
+  bulk.feed(bytes, size);
+  std::vector<std::string> bulk_frames;
+  while (std::optional<std::string> f = bulk.next()) {
+    // Frames are lines: the splitter must have consumed the terminator.
+    if (f->find('\n') != std::string::npos) __builtin_trap();
+    if (f->size() > rmrls::kMaxFrameBytes) __builtin_trap();
+    bulk_frames.push_back(*std::move(f));
+  }
+
+  rmrls::FrameSplitter trickle;
+  std::vector<std::string> trickle_frames;
+  for (std::size_t i = 0; i < size; ++i) {
+    trickle.feed(bytes + i, 1);
+    while (std::optional<std::string> f = trickle.next())
+      trickle_frames.push_back(*std::move(f));
+  }
+  // Chunking must not change what the peer said.
+  if (bulk.overflowed() != trickle.overflowed()) __builtin_trap();
+  if (bulk_frames != trickle_frames) __builtin_trap();
+
+  for (const std::string& frame : bulk_frames) {
+    const rmrls::Result<rmrls::ServeRequest> r =
+        rmrls::parse_request_checked(frame, "fuzz");
+    if (r.ok()) {
+      // An accepted submit must carry a constructed spec, never the
+      // default-constructed empty table.
+      if (r.value().op == rmrls::ServeOp::kSubmit && r.value().spec.size() == 0)
+        __builtin_trap();
+    }
+  }
+  return 0;
+}

@@ -25,24 +25,6 @@ int resolve_total(int total) {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-/// Deterministic per-job correlation id: FNV-1a over the job name, mixed
-/// with the job index splitmix-style so identical names in one batch still
-/// get distinct ids. Never 0 (0 means "no id" everywhere).
-std::uint64_t job_trace_id(const std::string& name, std::size_t index) {
-  std::uint64_t h = 1469598103934665603ull;
-  for (const char c : name) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ull;
-  }
-  h ^= static_cast<std::uint64_t>(index) + 0x9e3779b97f4a7c15ull;
-  h ^= h >> 30;
-  h *= 0xbf58476d1ce4e5b9ull;
-  h ^= h >> 27;
-  h *= 0x94d049bb133111ebull;
-  h ^= h >> 31;
-  return h == 0 ? 1 : h;
-}
-
 /// Shared mutable state of one batch run; workers pull job indices from
 /// `next` and write only their own outcome slots, so the only lock guards
 /// the accumulated counters.
@@ -91,9 +73,9 @@ ResilienceOptions job_resilience(const BatchContext& ctx, int search_threads,
   return r;
 }
 
-/// Verifies `circuit` against the job's own spec; counts and fills the
-/// outcome on success.
-bool adopt_verified(BatchJobOutcome& out, const Pprm& spec_pprm,
+/// Verifies `circuit` against the caller's own spec; fills the outcome on
+/// success.
+bool adopt_verified(CachedSynthesisOutcome& out, const Pprm& spec_pprm,
                     Circuit circuit) {
   if (!equivalent(circuit, spec_pprm)) return false;
   out.verified = true;
@@ -111,7 +93,7 @@ void run_one_job(BatchContext& ctx, std::size_t index, int search_threads) {
   // Correlation id only when telemetry is armed: disabled runs carry no
   // ids in any stream, so their output stays byte-identical to v1.
   const std::uint64_t trace_id =
-      ctx.tele != nullptr ? job_trace_id(job.name, index) : 0;
+      ctx.tele != nullptr ? derive_trace_id(job.name, index) : 0;
   out.trace_id = trace_id;
   if (ctx.tele != nullptr) {
     ctx.tele->add_active(trace_id_hex(trace_id));
@@ -145,69 +127,16 @@ void run_one_job(BatchContext& ctx, std::size_t index, int search_threads) {
     accumulate_stats(ctx.search_stats, out.result.stats);
   };
 
-  out.result.circuit = Circuit(job.spec.num_vars());
-
-  SynthCache* const cache = ctx.options->cache;
-  if (cache == nullptr) {
-    // Cache-less batch: identical per-job behaviour to the single-shot
-    // CLI path (the --cache-mb 0 bit-identity guarantee).
-    ResilientResult r = synthesize_resilient(
-        job.spec, job_resilience(ctx, search_threads, trace_id));
-    out.status = r.status;
-    out.result = std::move(r.result);
-    out.engine = r.engine;
-    out.verified = r.verified;
-    finish();
-    return;
-  }
-
-  const CanonicalForm form = canonicalize(job.spec, ctx.options->canonical);
-  const Pprm spec_pprm = pprm_of_truth_table(job.spec);
-
-  SynthCache::Acquisition acq = cache->acquire(form.key);
-  if (acq.outcome != SynthCache::Outcome::kLead && acq.circuit.has_value()) {
-    // A hash collision (or corrupt disk entry) fails this verification and
-    // falls through to a fresh synthesis — hits are never trusted blindly.
-    Circuit rebuilt = reconstruct_circuit(*acq.circuit, form.transform);
-    if (adopt_verified(out, spec_pprm, std::move(rebuilt))) {
-      if (acq.outcome == SynthCache::Outcome::kHit) {
-        out.cache_hit = true;
-        out.orbit_hit = !form.transform.is_identity();
-      } else {
-        out.deduped = true;
-      }
-      finish();
-      return;
-    }
-  }
-
-  // Miss (or follower of a failed/collided leader): synthesize the orbit
-  // representative so the cached circuit serves every member of the orbit.
-  ResilientResult r = synthesize_resilient(
-      form.representative, job_resilience(ctx, search_threads, trace_id));
-  const bool lead = acq.outcome == SynthCache::Outcome::kLead;
-  if (r.status.ok() && r.result.success) {
-    if (lead) {
-      cache->publish(form.key, &r.result.circuit);
-    } else {
-      cache->insert(form.key, r.result.circuit);
-    }
-    Circuit rebuilt = reconstruct_circuit(r.result.circuit, form.transform);
-    out.result.stats = r.result.stats;
-    out.engine = r.engine;
-    if (!adopt_verified(out, spec_pprm, std::move(rebuilt))) {
-      out.status = Status(StatusCode::kInternal,
-                          "orbit reconstruction failed verification");
-      out.result.success = false;
-      out.result.termination = r.result.termination;
-    }
-  } else {
-    if (lead) cache->publish(form.key, nullptr);  // release the followers
-    out.status = r.status;
-    out.result = std::move(r.result);
-    out.engine = r.engine;
-    out.verified = r.verified;
-  }
+  CachedSynthesisOutcome cached = synthesize_cached(
+      job.spec, ctx.options->cache, ctx.options->canonical,
+      job_resilience(ctx, search_threads, trace_id));
+  out.status = cached.status;
+  out.result = std::move(cached.result);
+  out.engine = cached.engine;
+  out.verified = cached.verified;
+  out.cache_hit = cached.cache_hit;
+  out.orbit_hit = cached.orbit_hit;
+  out.deduped = cached.deduped;
   finish();
 }
 
@@ -234,6 +163,72 @@ void worker_loop(BatchContext& ctx, int search_threads) {
 }
 
 }  // namespace
+
+CachedSynthesisOutcome synthesize_cached(const TruthTable& spec,
+                                         SynthCache* cache,
+                                         const CanonicalOptions& canonical,
+                                         const ResilienceOptions& resilience) {
+  CachedSynthesisOutcome out;
+  out.result.circuit = Circuit(spec.num_vars());
+
+  if (cache == nullptr) {
+    // Cache-less: identical per-request behaviour to the single-shot CLI
+    // path (the --cache-mb 0 bit-identity guarantee).
+    ResilientResult r = synthesize_resilient(spec, resilience);
+    out.status = r.status;
+    out.result = std::move(r.result);
+    out.engine = r.engine;
+    out.verified = r.verified;
+    return out;
+  }
+
+  const CanonicalForm form = canonicalize(spec, canonical);
+  const Pprm spec_pprm = pprm_of_truth_table(spec);
+
+  SynthCache::Acquisition acq = cache->acquire(form.key);
+  if (acq.outcome != SynthCache::Outcome::kLead && acq.circuit.has_value()) {
+    // A hash collision (or corrupt disk entry) fails this verification and
+    // falls through to a fresh synthesis — hits are never trusted blindly.
+    Circuit rebuilt = reconstruct_circuit(*acq.circuit, form.transform);
+    if (adopt_verified(out, spec_pprm, std::move(rebuilt))) {
+      if (acq.outcome == SynthCache::Outcome::kHit) {
+        out.cache_hit = true;
+        out.orbit_hit = !form.transform.is_identity();
+      } else {
+        out.deduped = true;
+      }
+      return out;
+    }
+  }
+
+  // Miss (or follower of a failed/collided leader): synthesize the orbit
+  // representative so the cached circuit serves every member of the orbit.
+  ResilientResult r = synthesize_resilient(form.representative, resilience);
+  const bool lead = acq.outcome == SynthCache::Outcome::kLead;
+  if (r.status.ok() && r.result.success) {
+    if (lead) {
+      cache->publish(form.key, &r.result.circuit);
+    } else {
+      cache->insert(form.key, r.result.circuit);
+    }
+    Circuit rebuilt = reconstruct_circuit(r.result.circuit, form.transform);
+    out.result.stats = r.result.stats;
+    out.engine = r.engine;
+    if (!adopt_verified(out, spec_pprm, std::move(rebuilt))) {
+      out.status = Status(StatusCode::kInternal,
+                          "orbit reconstruction failed verification");
+      out.result.success = false;
+      out.result.termination = r.result.termination;
+    }
+  } else {
+    if (lead) cache->publish(form.key, nullptr);  // release the followers
+    out.status = r.status;
+    out.result = std::move(r.result);
+    out.engine = r.engine;
+    out.verified = r.verified;
+  }
+  return out;
+}
 
 ThreadSplit split_threads(int total, int batch_threads, std::size_t jobs) {
   ThreadSplit split;

@@ -121,6 +121,33 @@ struct BatchResult {
   std::chrono::microseconds elapsed{0};
 };
 
+/// Outcome of one cached synthesis (synthesize_cached): the per-request
+/// core of a batch job, shared verbatim with the serve daemon
+/// (src/serve/server.hpp) so both paths route through the same warm cache
+/// with the same verification guarantees.
+struct CachedSynthesisOutcome {
+  /// kOk with a verified circuit; kCancelled / kBudgetExhausted /
+  /// kInternal otherwise (docs/robustness.md).
+  Status status;
+  SynthesisResult result;
+  FallbackEngine engine = FallbackEngine::kNone;
+  bool verified = false;   ///< re-checked against the caller's own spec
+  bool cache_hit = false;  ///< served from the cache (memory or disk)
+  bool orbit_hit = false;  ///< hit with a non-identity orbit transform
+  bool deduped = false;    ///< adopted a concurrent leader's result
+};
+
+/// Synthesizes `spec` through the canonical-orbit cache (docs/caching.md):
+/// canonicalize, single-flight acquire, reconstruct + re-verify every hit,
+/// synthesize the orbit representative on a miss and publish it. `cache`
+/// may be null — the call then degrades to plain synthesize_resilient on
+/// the original spec, bit-identical to the single-shot path. Thread-safe
+/// for concurrent callers sharing one cache; never throws on budget,
+/// cancellation, or verification failure.
+[[nodiscard]] CachedSynthesisOutcome synthesize_cached(
+    const TruthTable& spec, SynthCache* cache,
+    const CanonicalOptions& canonical, const ResilienceOptions& resilience);
+
 /// How `total` threads are split between the two levels.
 struct ThreadSplit {
   int batch_threads = 1;   ///< concurrent jobs

@@ -29,6 +29,8 @@ enum class StatusCode : std::uint8_t {
   kBudgetExhausted,   ///< every engine ran out of budget without a circuit
   kCancelled,         ///< the caller's CancelToken fired
   kInternal,          ///< invariant violation (e.g. verification failure)
+  kUnavailable,       ///< load shed: the server's admission queue is full
+                      ///< or it is draining (docs/serving.md); retryable
 };
 
 [[nodiscard]] constexpr const char* to_string(StatusCode code) {
@@ -40,13 +42,15 @@ enum class StatusCode : std::uint8_t {
     case StatusCode::kBudgetExhausted: return "budget_exhausted";
     case StatusCode::kCancelled: return "cancelled";
     case StatusCode::kInternal: return "internal";
+    case StatusCode::kUnavailable: return "unavailable";
   }
   return "unknown";
 }
 
 /// The CLI exit-code contract (documented in `rmrls --help`): 0 success,
 /// 2 usage / invalid argument, 3 unreadable or malformed input, 4 budget
-/// exhausted without a circuit, 5 cancelled, 6 internal error.
+/// exhausted without a circuit, 5 cancelled, 6 internal error, 7 server
+/// unavailable (load shed / draining — the request is safe to retry).
 [[nodiscard]] constexpr int exit_code_for(StatusCode code) {
   switch (code) {
     case StatusCode::kOk: return 0;
@@ -56,6 +60,7 @@ enum class StatusCode : std::uint8_t {
     case StatusCode::kBudgetExhausted: return 4;
     case StatusCode::kCancelled: return 5;
     case StatusCode::kInternal: return 6;
+    case StatusCode::kUnavailable: return 7;
   }
   return 6;
 }

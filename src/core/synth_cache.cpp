@@ -1,6 +1,9 @@
 #include "core/synth_cache.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -233,11 +236,16 @@ void SynthCache::store_to_disk(std::uint64_t key,
   const std::filesystem::path dir(options_.dir);
   const std::filesystem::path path = dir / (hex_key(key) + ".tfc");
   // Write-to-temp + rename so concurrent readers (and crashed writers)
-  // never observe a half-written .tfc. Failures degrade to a cold key.
+  // never observe a half-written .tfc. The tmp name must be unique across
+  // *processes* sharing the store (the fleet / serve scenario), not just
+  // threads: thread-id hashes can collide between processes, so the name
+  // carries the pid plus a per-process counter. Failures degrade to a
+  // cold key.
+  static std::atomic<std::uint64_t> tmp_serial{0};
   const std::filesystem::path tmp =
-      dir / (hex_key(key) + ".tmp" +
-             std::to_string(
-                 std::hash<std::thread::id>{}(std::this_thread::get_id())));
+      dir / (hex_key(key) + ".tmp" + std::to_string(::getpid()) + "." +
+             std::to_string(tmp_serial.fetch_add(
+                 1, std::memory_order_relaxed)));
   {
     std::ofstream out(tmp);
     if (!out) return;

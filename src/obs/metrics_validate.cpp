@@ -129,6 +129,25 @@ bool MetricsValidator::check_v1(const JsonValue& v, const std::string& where) {
       (!trace_id->is_string() || !is_hex16(trace_id->string))) {
     return fail(where, "trace_id is not a 16-hex-digit string");
   }
+  // Optional serve-daemon outcome (docs/serving.md): the StatusCode the
+  // request finished with, spelled the way to_string(StatusCode) does. A
+  // shed request carries "unavailable" with success=false and no circuit.
+  const JsonValue* serve_status = v.find("serve_status");
+  if (serve_status != nullptr) {
+    const std::string& s = serve_status->string;
+    if (!serve_status->is_string() ||
+        (s != "ok" && s != "invalid_argument" && s != "parse_error" &&
+         s != "invalid_spec" && s != "budget_exhausted" && s != "cancelled" &&
+         s != "internal" && s != "unavailable")) {
+      return fail(where, "unknown serve_status '" + s + "'");
+    }
+    if (s == "ok" && !(success->boolean)) {
+      return fail(where, "serve_status ok with success=false");
+    }
+    if (s != "ok" && success->boolean) {
+      return fail(where, "serve_status '" + s + "' with success=true");
+    }
+  }
   // Optional cache / batch fields (docs/caching.md). Single-shot records
   // carry cache_hits/cache_misses when a cache was armed; a batch summary
   // record additionally carries batch_jobs and the orbit/dedup counters

@@ -168,6 +168,21 @@ std::string trace_id_hex(std::uint64_t trace_id) {
   return out;
 }
 
+std::uint64_t derive_trace_id(std::string_view name, std::uint64_t index) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  h ^= index + 0x9e3779b97f4a7c15ull;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h == 0 ? 1 : h;
+}
+
 std::string Snapshotter::heartbeat_json(const TelemetrySnapshot& snap,
                                         std::uint64_t seq,
                                         std::uint64_t uptime_ns) {

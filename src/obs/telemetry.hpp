@@ -237,6 +237,14 @@ class Telemetry {
 /// one grep works across trace events, job records, and heartbeats.
 [[nodiscard]] std::string trace_id_hex(std::uint64_t trace_id);
 
+/// Deterministic correlation id for a named unit of work: FNV-1a over the
+/// name, mixed with `index` splitmix-style so identical names (batch lines,
+/// repeated serve submissions) still get distinct ids. Never 0 (0 means
+/// "no id" everywhere). Shared by the batch driver and the serve daemon so
+/// both streams spell ids the same way.
+[[nodiscard]] std::uint64_t derive_trace_id(std::string_view name,
+                                            std::uint64_t index);
+
 /// Background heartbeat emitter. Same cv-based lifecycle idiom as
 /// Watchdog (core/cancel.hpp): the thread sleeps on a condition variable
 /// for `interval`, emits one heartbeat line per wakeup, and stop() (or

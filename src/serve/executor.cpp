@@ -1,0 +1,85 @@
+#include "serve/executor.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace rmrls {
+
+ServeExecutor::ServeExecutor(int workers, std::size_t queue_cap)
+    : cap_(std::max<std::size_t>(1, queue_cap)) {
+  const int n = std::max(1, workers);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ServeExecutor::~ServeExecutor() { join(); }
+
+bool ServeExecutor::try_submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(m_);
+    if (closed_ || queue_.size() >= cap_) return false;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void ServeExecutor::close() {
+  {
+    const std::lock_guard<std::mutex> lock(m_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+void ServeExecutor::join() {
+  close();
+  {
+    std::unique_lock<std::mutex> lock(m_);
+    if (joined_) return;
+    joined_ = true;
+    idle_cv_.wait(lock, [this] { return queue_.empty() && inflight_ == 0; });
+  }
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::size_t ServeExecutor::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(m_);
+  return queue_.size();
+}
+
+int ServeExecutor::inflight() const {
+  const std::lock_guard<std::mutex> lock(m_);
+  return inflight_;
+}
+
+bool ServeExecutor::idle() const {
+  const std::lock_guard<std::mutex> lock(m_);
+  return queue_.empty() && inflight_ == 0;
+}
+
+void ServeExecutor::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // closed and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++inflight_;
+    }
+    task();
+    {
+      const std::lock_guard<std::mutex> lock(m_);
+      --inflight_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace rmrls

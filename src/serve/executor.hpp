@@ -1,0 +1,76 @@
+/// \file executor.hpp
+/// \brief Bounded-admission worker pool of the serve daemon
+/// (docs/serving.md).
+///
+/// The daemon's request executor is deliberately *not* elastic: a fixed
+/// worker count runs synthesis jobs, and a fixed-capacity admission queue
+/// in front of them absorbs bursts. When the queue is full, try_submit
+/// refuses immediately — the poll loop turns that refusal into a
+/// StatusCode::kUnavailable error frame (load shedding, exit code 7)
+/// instead of queueing unboundedly and timing every request out. The same
+/// refusal path implements drain: close() flips one flag and every
+/// subsequent submission is shed while the workers finish what is already
+/// admitted.
+///
+/// The pool is task-agnostic (std::function) so tests can drive it
+/// without a socket; the daemon's tasks capture their job state by
+/// shared_ptr and never touch the pool again after completion.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rmrls {
+
+class ServeExecutor {
+ public:
+  /// Spawns `workers` threads (minimum 1) in front of a queue holding at
+  /// most `queue_cap` waiting tasks (minimum 1; running tasks do not
+  /// count against the cap).
+  ServeExecutor(int workers, std::size_t queue_cap);
+  ~ServeExecutor();
+  ServeExecutor(const ServeExecutor&) = delete;
+  ServeExecutor& operator=(const ServeExecutor&) = delete;
+
+  /// Admits `task` unless the queue is at capacity or the executor is
+  /// closed; returns whether it was admitted. Never blocks.
+  [[nodiscard]] bool try_submit(std::function<void()> task);
+
+  /// Stops admitting (every later try_submit returns false). Tasks
+  /// already admitted still run. Idempotent.
+  void close();
+
+  /// Closes, waits for the queue to empty and every running task to
+  /// finish, then joins the workers. Idempotent; the destructor calls it.
+  /// Cancellation of slow tasks is the caller's job (each serve job owns
+  /// a CancelToken) — join() itself only waits.
+  void join();
+
+  /// Tasks admitted but not yet started.
+  [[nodiscard]] std::size_t queue_depth() const;
+  /// Tasks currently running on a worker.
+  [[nodiscard]] int inflight() const;
+  /// True once the queue is empty and no task is running.
+  [[nodiscard]] bool idle() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex m_;
+  std::condition_variable cv_;       ///< wakes workers on push/close
+  std::condition_variable idle_cv_;  ///< wakes join() on task completion
+  std::deque<std::function<void()>> queue_;
+  std::size_t cap_;
+  int inflight_ = 0;
+  bool closed_ = false;
+  bool joined_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rmrls

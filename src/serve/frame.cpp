@@ -1,0 +1,168 @@
+#include "serve/frame.hpp"
+
+#include <utility>
+
+#include "io/spec.hpp"
+#include "obs/json.hpp"
+
+namespace rmrls {
+
+void FrameSplitter::feed(const char* data, std::size_t n) {
+  if (overflowed_) return;  // session is already condemned; drop input
+  buf_.append(data, n);
+  // A buffer holding no newline yet and already past the cap can never
+  // become a legal frame — latch the overflow without waiting for more.
+  if (buf_.size() > kMaxFrameBytes &&
+      buf_.find('\n') == std::string::npos) {
+    overflowed_ = true;
+    buf_.clear();
+    buf_.shrink_to_fit();
+  }
+}
+
+std::optional<std::string> FrameSplitter::next() {
+  if (overflowed_) return std::nullopt;
+  const std::size_t nl = buf_.find('\n');
+  if (nl == std::string::npos) return std::nullopt;
+  if (nl > kMaxFrameBytes) {
+    overflowed_ = true;
+    buf_.clear();
+    buf_.shrink_to_fit();
+    return std::nullopt;
+  }
+  std::string line = buf_.substr(0, nl);
+  buf_.erase(0, nl + 1);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return line;
+}
+
+namespace {
+
+Status bad_frame(const std::string& where, std::string reason) {
+  return Status(StatusCode::kParseError, std::move(reason), where, 0);
+}
+
+/// Reads an optional field, type-checked; `ok` turns false on mismatch.
+const JsonValue* want(const JsonValue& obj, std::string_view key,
+                      JsonValue::Type type, bool& ok) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return nullptr;
+  if (v->type != type) {
+    ok = false;
+    return nullptr;
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<ServeRequest> parse_request_checked(const std::string& line,
+                                           const std::string& where) {
+  if (line.size() > kMaxFrameBytes) {
+    return bad_frame(where, "frame exceeds " +
+                                std::to_string(kMaxFrameBytes) + " bytes");
+  }
+  const std::optional<JsonValue> doc = json_parse(line);
+  if (!doc || !doc->is_object()) {
+    return bad_frame(where, "frame is not a JSON object");
+  }
+  ServeRequest req;
+  bool types_ok = true;
+  if (const JsonValue* id =
+          want(*doc, "id", JsonValue::Type::kString, types_ok)) {
+    req.id = id->string;
+  }
+  const JsonValue* op = want(*doc, "op", JsonValue::Type::kString, types_ok);
+  if (!types_ok) {
+    return Status(StatusCode::kInvalidArgument, "field has the wrong type",
+                  where, 0);
+  }
+  if (op == nullptr) return bad_frame(where, "missing \"op\"");
+  if (op->string == "ping") {
+    req.op = ServeOp::kPing;
+  } else if (op->string == "submit") {
+    req.op = ServeOp::kSubmit;
+  } else if (op->string == "stats") {
+    req.op = ServeOp::kStats;
+  } else if (op->string == "watch") {
+    req.op = ServeOp::kWatch;
+  } else if (op->string == "shutdown") {
+    req.op = ServeOp::kShutdown;
+  } else {
+    return bad_frame(where, "unknown op \"" + op->string + "\"");
+  }
+
+  if (const JsonValue* t =
+          want(*doc, "time_ms", JsonValue::Type::kNumber, types_ok)) {
+    if (t->number < 0 || t->number > 86400.0 * 1000.0) {
+      return Status(StatusCode::kInvalidArgument,
+                    "time_ms out of range [0, 86400000]", where, 0);
+    }
+    req.time_ms = static_cast<std::int64_t>(t->number);
+  }
+  if (const JsonValue* tfc =
+          want(*doc, "tfc", JsonValue::Type::kBool, types_ok)) {
+    req.want_tfc = tfc->boolean;
+  }
+  if (const JsonValue* en =
+          want(*doc, "enable", JsonValue::Type::kBool, types_ok)) {
+    req.watch_enable = en->boolean;
+  }
+  const JsonValue* spec =
+      want(*doc, "spec", JsonValue::Type::kString, types_ok);
+  if (!types_ok) {
+    return Status(StatusCode::kInvalidArgument, "field has the wrong type",
+                  where, 0);
+  }
+
+  if (req.op == ServeOp::kSubmit) {
+    if (spec == nullptr) return bad_frame(where, "submit needs \"spec\"");
+    // Same hardened spec parser as every file input: malformed text and
+    // non-bijective images come back as structured Status, never throw.
+    Result<TruthTable> parsed =
+        parse_permutation_spec_checked(spec->string, where);
+    if (!parsed.ok()) return parsed.status();
+    req.spec_text = spec->string;
+    req.spec = std::move(parsed).value();
+  }
+  return req;
+}
+
+namespace {
+
+JsonObject frame_base(const char* record, const std::string& id) {
+  JsonObject o;
+  o.field("schema", kServeSchemaV1);
+  o.field("record", record);
+  if (!id.empty()) o.field("id", id);
+  return o;
+}
+
+}  // namespace
+
+std::string frame_pong(const std::string& id) {
+  return frame_base("pong", id).str();
+}
+
+std::string frame_accepted(const std::string& id,
+                           const std::string& trace_hex) {
+  JsonObject o = frame_base("accepted", id);
+  o.field("trace_id", trace_hex);
+  return o.str();
+}
+
+std::string frame_error(const std::string& id, const Status& status) {
+  JsonObject o = frame_base("error", id);
+  o.field("status", std::string_view(to_string(status.code())));
+  o.field("exit_code", exit_code_for(status.code()));
+  o.field("message", status.to_string());
+  return o.str();
+}
+
+std::string frame_shutdown(const std::string& id, bool draining) {
+  JsonObject o = frame_base("shutdown", id);
+  o.field("draining", draining);
+  return o.str();
+}
+
+}  // namespace rmrls

@@ -1,0 +1,120 @@
+/// \file frame.hpp
+/// \brief Wire framing of the serve daemon: newline-delimited JSON
+/// (docs/serving.md).
+///
+/// One frame is one JSON object on one line, schema `rmrls-serve-v1`.
+/// Requests carry an `op` ("ping" / "submit" / "stats" / "watch" /
+/// "shutdown") plus op-specific fields; responses carry a `record`
+/// ("pong" / "accepted" / "result" / "error" / "stats" / "shutdown"),
+/// echo the client's `id`, and — for failures — spell the Status the same
+/// way the CLI does (`status` string + `exit_code`). Heartbeat records
+/// pushed to `watch` subscribers reuse the `rmrls-metrics-v2` schema
+/// verbatim, so one validator covers both streams.
+///
+/// Parsing never throws and never trusts the peer: json_parse is strict,
+/// frames are capped at kMaxFrameBytes, and the permutation spec inside a
+/// submit goes through the same hardened parse_permutation_spec_checked
+/// as every file input (docs/robustness.md). The FrameSplitter is the
+/// only stateful piece — it turns an arbitrary byte stream into complete
+/// lines and latches an overflow flag when the peer never sends one.
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "core/status.hpp"
+#include "rev/truth_table.hpp"
+
+namespace rmrls {
+
+/// Schema tag of serve request/response frames; heartbeat records keep
+/// rmrls-metrics-v2 (obs/telemetry.hpp).
+inline constexpr const char* kServeSchemaV1 = "rmrls-serve-v1";
+
+/// Hard cap on one frame (one line, excluding the newline). A peer that
+/// exceeds it — a runaway spec, a missing newline, garbage — gets one
+/// error frame and its connection closed; the daemon never buffers
+/// unbounded input per session.
+inline constexpr std::size_t kMaxFrameBytes = std::size_t{1} << 20;
+
+/// Splits an arbitrary byte stream into newline-delimited frames.
+/// Carriage returns before the newline are stripped (telnet-friendly).
+/// Once a line exceeds kMaxFrameBytes the splitter latches overflowed()
+/// and next() returns nothing more — the session is beyond repair.
+class FrameSplitter {
+ public:
+  /// Appends raw bytes from the socket.
+  void feed(const char* data, std::size_t n);
+
+  /// Pops the next complete frame, without its newline; std::nullopt when
+  /// no complete frame is buffered (or after an overflow).
+  [[nodiscard]] std::optional<std::string> next();
+
+  /// True once any single line exceeded kMaxFrameBytes. Latched.
+  [[nodiscard]] bool overflowed() const { return overflowed_; }
+
+  /// Bytes buffered but not yet returned (tests, admission accounting).
+  [[nodiscard]] std::size_t buffered() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+  bool overflowed_ = false;
+};
+
+/// The request verbs of the protocol.
+enum class ServeOp : std::uint8_t {
+  kPing = 0,   ///< liveness probe; answered with "pong"
+  kSubmit,     ///< synthesize a permutation spec
+  kStats,      ///< daemon counters snapshot
+  kWatch,      ///< subscribe/unsubscribe this session to heartbeats
+  kShutdown,   ///< begin graceful drain (docs/serving.md)
+};
+
+[[nodiscard]] constexpr const char* to_string(ServeOp op) {
+  switch (op) {
+    case ServeOp::kPing: return "ping";
+    case ServeOp::kSubmit: return "submit";
+    case ServeOp::kStats: return "stats";
+    case ServeOp::kWatch: return "watch";
+    case ServeOp::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+/// One parsed request frame.
+struct ServeRequest {
+  ServeOp op = ServeOp::kPing;
+  std::string id;          ///< client-chosen correlation id (may be empty)
+  std::string spec_text;   ///< submit: the raw permutation spec
+  TruthTable spec;         ///< submit: the parsed, validated function
+  std::int64_t time_ms = 0;  ///< submit: deadline override; 0 = server default
+  bool want_tfc = false;     ///< submit: include the circuit as TFC text
+  bool watch_enable = true;  ///< watch: subscribe (true) or unsubscribe
+};
+
+/// Parses one request frame. Never throws: malformed JSON or a bad `op`
+/// is kParseError; a well-formed frame whose spec fails validation keeps
+/// the spec parser's own status (kParseError / kInvalidSpec); field type
+/// mismatches are kInvalidArgument. `where` labels diagnostics (e.g.
+/// "session#3").
+[[nodiscard]] Result<ServeRequest> parse_request_checked(
+    const std::string& line, const std::string& where = "<frame>");
+
+/// Response builders. Every frame is one line *without* the trailing
+/// newline; the session layer appends it.
+[[nodiscard]] std::string frame_pong(const std::string& id);
+/// Submission acknowledged: the job's trace id (16 hex digits, the same
+/// id its metrics record and the heartbeat active set carry).
+[[nodiscard]] std::string frame_accepted(const std::string& id,
+                                         const std::string& trace_hex);
+/// Failure named the way the CLI exits: status string + exit code +
+/// human message. Shed responses use StatusCode::kUnavailable (exit 7).
+[[nodiscard]] std::string frame_error(const std::string& id,
+                                      const Status& status);
+/// Drain acknowledgement for a shutdown request.
+[[nodiscard]] std::string frame_shutdown(const std::string& id,
+                                         bool draining);
+
+}  // namespace rmrls

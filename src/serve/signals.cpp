@@ -1,0 +1,86 @@
+#include "serve/signals.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <csignal>
+#include <cstring>
+
+namespace rmrls {
+
+namespace {
+
+/// Write end of the live bridge's pipe; -1 when no bridge exists. Plain
+/// volatile int is enough: it is written once before any handler can run
+/// and read from signal context (int stores are atomic on every target
+/// we build for, and sig_atomic_t is int on POSIX).
+volatile int g_signal_write_fd = -1;
+
+extern "C" void signal_bridge_handler(int signo) {
+  // Async-signal-safe by construction: one write(2), nothing else. EAGAIN
+  // (pipe full after ~64k pending signals) and EBADF (teardown race) are
+  // both fine to ignore — the poll loop has long since been woken.
+  const int fd = g_signal_write_fd;
+  if (fd < 0) return;
+  const unsigned char byte = static_cast<unsigned char>(signo & 0xff);
+  const ssize_t rc = ::write(fd, &byte, 1);
+  (void)rc;
+}
+
+}  // namespace
+
+SignalBridge::SignalBridge(std::initializer_list<int> signals) {
+  assert(g_signal_write_fd == -1 && "one SignalBridge per process");
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) != 0) return;  // degraded: fd() stays -1, no wakeups
+  for (const int fd : fds) {
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  }
+  read_fd_ = fds[0];
+  g_signal_write_fd = fds[1];
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = signal_bridge_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: blocking syscalls get EINTR
+  static_assert(sizeof(struct sigaction) <= sizeof(Saved::prev),
+                "Saved::prev too small for struct sigaction");
+  for (const int signo : signals) {
+    Saved saved;
+    saved.signo = signo;
+    struct sigaction prev;
+    if (::sigaction(signo, &action, &prev) == 0) {
+      std::memcpy(saved.prev, &prev, sizeof(prev));
+      saved_.push_back(saved);
+    }
+  }
+}
+
+SignalBridge::~SignalBridge() {
+  for (const Saved& saved : saved_) {
+    struct sigaction prev;
+    std::memcpy(&prev, saved.prev, sizeof(prev));
+    ::sigaction(saved.signo, &prev, nullptr);
+  }
+  const int write_fd = g_signal_write_fd;
+  g_signal_write_fd = -1;
+  if (write_fd >= 0) ::close(write_fd);
+  if (read_fd_ >= 0) ::close(read_fd_);
+}
+
+std::vector<int> SignalBridge::drain() {
+  std::vector<int> out;
+  if (read_fd_ < 0) return out;
+  unsigned char buf[64];
+  for (;;) {
+    const ssize_t n = ::read(read_fd_, buf, sizeof(buf));
+    if (n <= 0) break;  // EAGAIN / EOF / EINTR all end the drain
+    for (ssize_t i = 0; i < n; ++i) out.push_back(buf[i]);
+  }
+  return out;
+}
+
+}  // namespace rmrls

@@ -1,0 +1,56 @@
+/// \file signals.hpp
+/// \brief Async-signal-safe signal → poll-loop bridge (docs/serving.md,
+/// docs/robustness.md).
+///
+/// The classic self-pipe trick: the handler does exactly one thing that
+/// is legal in signal context — write(2) of a single byte (the signal
+/// number) to a non-blocking pipe — and the daemon's poll loop sees the
+/// read end become readable and reacts *outside* signal context, where
+/// logging, locking and allocation are safe again. No flags to poll, no
+/// races with the poll timeout: a signal arriving mid-poll wakes it
+/// immediately.
+///
+/// The bridge installs its handler with sigaction (SA_RESTART off, so a
+/// blocking accept in other code is interrupted too) and restores the
+/// previous disposition on destruction. One bridge per process — the
+/// handler needs a static fd — which matches the daemon's one-poll-loop
+/// design; the constructor asserts against a second live instance.
+
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+namespace rmrls {
+
+class SignalBridge {
+ public:
+  /// Installs the self-pipe handler for each signal in `signals`
+  /// (e.g. {SIGTERM, SIGINT, SIGHUP}).
+  explicit SignalBridge(std::initializer_list<int> signals);
+  /// Restores the previous dispositions and closes the pipe.
+  ~SignalBridge();
+  SignalBridge(const SignalBridge&) = delete;
+  SignalBridge& operator=(const SignalBridge&) = delete;
+
+  /// Read end of the pipe; becomes readable when a signal arrives. Add it
+  /// to the poll set with POLLIN.
+  [[nodiscard]] int fd() const { return read_fd_; }
+
+  /// Drains every pending byte, returning the signal numbers in arrival
+  /// order. Call from the poll loop when fd() is readable. Non-blocking.
+  [[nodiscard]] std::vector<int> drain();
+
+ private:
+  struct Saved {
+    int signo;
+    // Opaque storage for the previous struct sigaction (kept out of the
+    // header to avoid including <csignal> here).
+    unsigned char prev[160];
+  };
+
+  int read_fd_ = -1;
+  std::vector<Saved> saved_;
+};
+
+}  // namespace rmrls

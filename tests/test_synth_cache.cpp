@@ -11,7 +11,9 @@
 #include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <random>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -116,6 +118,107 @@ TEST(SynthCache, CorruptDiskEntryDegradesToMiss) {
   SynthCache cache(options);
   EXPECT_FALSE(cache.lookup(0xff).has_value());
   EXPECT_EQ(cache.stats().misses, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SynthCache, ConcurrentWritersNeverTearDiskEntries) {
+  // Many caches (think: many rmrls-serve daemons or batch runs) sharing
+  // one --cache-dir, all publishing the same keys at once. The tmp+rename
+  // protocol (unique `<hex>.tmp<pid>.<serial>` staging name, atomic
+  // rename) must guarantee a reader only ever sees a complete file —
+  // never a torn one — whichever writer wins each race.
+  const std::string dir = fresh_dir("synth_cache_racing_writers");
+  constexpr int kWriters = 8;
+  constexpr int kKeys = 16;
+  constexpr int kRounds = 8;
+  std::vector<Circuit> variants;
+  for (int w = 0; w < kWriters; ++w) variants.push_back(toy_circuit(5, w));
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> torn_reads{0};
+  // A reader hammering the same keys through its own cold cache. Because
+  // rename is atomic and nothing ever unlinks a published key, the moment
+  // a key's file exists every open must see a complete circuit; a miss on
+  // an existing file means the reader caught a torn write.
+  std::thread reader([&] {
+    SynthCacheOptions options;
+    options.dir = dir;
+    options.byte_budget = 1;  // keep nothing in memory: every hit is disk
+    while (!stop.load(std::memory_order_relaxed)) {
+      SynthCache probe(options);
+      for (int k = 0; k < kKeys; ++k) {
+        std::ostringstream name;
+        name << std::hex << std::setw(16) << std::setfill('0') << k
+             << ".tfc";
+        const bool published =
+            std::filesystem::exists(std::filesystem::path(dir) / name.str());
+        const auto hit = probe.lookup(static_cast<std::uint64_t>(k));
+        if (published && !hit.has_value()) ++torn_reads;
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      SynthCacheOptions options;
+      options.dir = dir;
+      SynthCache mine(options);
+      for (int round = 0; round < kRounds; ++round) {
+        for (int k = 0; k < kKeys; ++k) {
+          mine.insert(static_cast<std::uint64_t>(k), variants[w]);
+        }
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(torn_reads.load(), 0u);
+
+  // Afterwards: every key revives as one of the written variants, and no
+  // staging file leaked past its rename.
+  SynthCacheOptions options;
+  options.dir = dir;
+  SynthCache cold(options);
+  for (int k = 0; k < kKeys; ++k) {
+    const auto hit = cold.lookup(static_cast<std::uint64_t>(k));
+    ASSERT_TRUE(hit.has_value()) << "key " << k << " lost in the race";
+    bool known = false;
+    for (const Circuit& v : variants) known = known || (*hit == v);
+    EXPECT_TRUE(known) << "key " << k << " revived a circuit no writer wrote";
+  }
+  std::uint64_t leftovers = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().filename().string().find(".tmp") != std::string::npos) {
+      ++leftovers;
+    }
+  }
+  EXPECT_EQ(leftovers, 0u) << "tmp staging files leaked past rename";
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SynthCache, WriterRacingCorruptFileStillServes) {
+  // A half-written or garbage file under a key being actively republished
+  // must degrade to a miss (never an exception) and then heal once a
+  // writer's rename lands.
+  const std::string dir = fresh_dir("synth_cache_corrupt_race");
+  std::filesystem::create_directories(dir);
+  const std::uint64_t key = 0x2a;
+  const auto path = std::filesystem::path(dir) / "000000000000002a.tfc";
+  {
+    std::ofstream out(path);
+    out << ".v a,b\n.i a\ntruncated";
+  }
+  SynthCacheOptions options;
+  options.dir = dir;
+  options.byte_budget = 1;  // force every lookup back to disk
+  SynthCache cache(options);
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  const Circuit good = toy_circuit(5, 3);
+  cache.insert(key, good);
+  const auto healed = cache.lookup(key);
+  ASSERT_TRUE(healed.has_value());
+  EXPECT_EQ(*healed, good);
   std::filesystem::remove_all(dir);
 }
 

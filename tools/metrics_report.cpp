@@ -46,6 +46,13 @@ struct Aggregate {
   std::vector<double> job_elapsed_us;  ///< v1 job records (not summaries)
   std::uint64_t jobs_succeeded = 0;
   std::uint64_t jobs_failed = 0;
+  /// Serve-daemon request records (those carrying `serve_status`;
+  /// docs/serving.md): request latency is the daemon-side elapsed_us of
+  /// the jobs that actually ran, shed requests counted separately.
+  std::vector<double> serve_elapsed_us;
+  std::uint64_t serve_ok = 0;
+  std::uint64_t serve_failed = 0;
+  std::uint64_t serve_shed = 0;
   /// Cache counters: heartbeat `cache.*` counters win when present (they
   /// see every engine-level event); otherwise batch summary records.
   double cache_hits = 0, cache_misses = 0, cache_evictions = 0;
@@ -152,6 +159,20 @@ void absorb_v1(Aggregate& agg, const JsonValue& v) {
   } else {
     ++agg.jobs_failed;
   }
+  const JsonValue* serve_status = v.find("serve_status");
+  if (serve_status != nullptr && serve_status->is_string()) {
+    if (serve_status->string == "unavailable") {
+      // Shed at admission: never ran, so it contributes no latency sample.
+      ++agg.serve_shed;
+    } else {
+      agg.serve_elapsed_us.push_back(elapsed->number);
+      if (success->boolean) {
+        ++agg.serve_ok;
+      } else {
+        ++agg.serve_failed;
+      }
+    }
+  }
 }
 
 double exact_quantile(std::vector<double>& sorted, double q) {
@@ -241,6 +262,28 @@ int main(int argc, char** argv) {
                 exact_quantile(sorted, 0.50), exact_quantile(sorted, 0.95),
                 exact_quantile(sorted, 0.99), sorted.back(), "  (exact)");
     }
+    if (!agg.serve_elapsed_us.empty()) {
+      std::vector<double> sorted = agg.serve_elapsed_us;
+      std::sort(sorted.begin(), sorted.end());
+      print_row("serve request_us", sorted.size(),
+                exact_quantile(sorted, 0.50), exact_quantile(sorted, 0.95),
+                exact_quantile(sorted, 0.99), sorted.back(), "  (exact)");
+    }
+  }
+
+  if (agg.serve_ok + agg.serve_failed + agg.serve_shed > 0) {
+    const std::uint64_t total =
+        agg.serve_ok + agg.serve_failed + agg.serve_shed;
+    std::cout << "\nserve: " << total << " request(s) (" << agg.serve_ok
+              << " ok, " << agg.serve_failed << " failed, " << agg.serve_shed
+              << " shed)";
+    if (total > 0) {
+      std::cout << " — " << std::fixed << std::setprecision(1)
+                << 100.0 * static_cast<double>(agg.serve_shed) /
+                       static_cast<double>(total)
+                << "% shed";
+    }
+    std::cout << "\n";
   }
 
   if (agg.cache_seen) {

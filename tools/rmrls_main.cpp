@@ -40,7 +40,23 @@ namespace {
 /// safe to call from a signal handler.
 rmrls::CancelToken g_cancel;
 
-void handle_sigint(int) { g_cancel.cancel(rmrls::CancelReason::kUser); }
+void handle_cancel_signal(int) {
+  // Async-signal-safe by construction: one lock-free CAS, no allocation,
+  // no logging (docs/robustness.md). The main thread notices the token
+  // and does the reporting outside signal context.
+  g_cancel.cancel(rmrls::CancelReason::kUser);
+}
+
+/// SIGINT (Ctrl-C), SIGTERM (service managers / `kill`) and SIGHUP
+/// (closed terminal) all request the same graceful wind-down: cancel
+/// cooperatively, write metrics, exit 5.
+void install_cancel_signals() {
+  std::signal(SIGINT, handle_cancel_signal);
+  std::signal(SIGTERM, handle_cancel_signal);
+#ifdef SIGHUP
+  std::signal(SIGHUP, handle_cancel_signal);
+#endif
+}
 
 void help(const char* argv0, std::ostream& os) {
   os << "usage: " << argv0
@@ -167,7 +183,9 @@ void help(const char* argv0, std::ostream& os) {
         "\n"
         "Exit codes: 0 success; 2 usage / invalid argument; 3 unreadable\n"
         "or malformed input; 4 budget exhausted without a circuit;\n"
-        "5 cancelled (SIGINT); 6 internal error (verification failure).\n";
+        "5 cancelled (SIGINT/SIGTERM/SIGHUP); 6 internal error\n"
+        "(verification failure); 7 server unavailable (rmrls-serve load\n"
+        "shed — retryable, see docs/serving.md).\n";
 }
 
 int usage(const char* argv0) {
@@ -461,7 +479,7 @@ int main(int argc, char** argv) {
         jobs.push_back(BatchJob{std::move(s.name), std::move(s.table)});
       }
 
-      std::signal(SIGINT, handle_sigint);
+      install_cancel_signals();
       BatchOptions bopts;
       bopts.resilience.search = options;
       bopts.resilience.search.time_limit = std::chrono::milliseconds{0};
@@ -621,8 +639,9 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
 
-    // Ctrl-C cancels cooperatively from here on (user reason -> exit 5).
-    std::signal(SIGINT, handle_sigint);
+    // Ctrl-C / SIGTERM / SIGHUP cancel cooperatively from here on (user
+    // reason -> exit 5).
+    install_cancel_signals();
     options.cancel_token = &g_cancel;
 
     // Single-shot orbit cache (docs/caching.md): off unless sized
