@@ -1,0 +1,158 @@
+#include "bench_suite/corpus.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <utility>
+
+#include "bench_suite/functions.hpp"
+#include "io/spec.hpp"
+#include "rev/canonical.hpp"
+#include "rev/random.hpp"
+
+namespace rmrls::suite {
+
+namespace {
+
+/// Odd primes cycled by the kPrime family; x -> p*x mod 2^n is bijective
+/// for any odd p (p is a unit mod 2^n).
+constexpr int kPrimes[] = {3, 5, 7, 11, 13, 17, 19, 23, 29, 31};
+
+TruthTable prime_multiplier(int num_vars, int p) {
+  const std::uint64_t size = std::uint64_t{1} << num_vars;
+  std::vector<std::uint64_t> image(size);
+  for (std::uint64_t x = 0; x < size; ++x) {
+    image[x] = (static_cast<std::uint64_t>(p) * x) & (size - 1);
+  }
+  return TruthTable(std::move(image));
+}
+
+std::vector<int> random_wire_perm(int n, std::mt19937_64& rng) {
+  std::vector<int> sigma(static_cast<std::size_t>(n));
+  std::iota(sigma.begin(), sigma.end(), 0);
+  std::shuffle(sigma.begin(), sigma.end(), rng);
+  return sigma;
+}
+
+struct BaseSpec {
+  std::string label;
+  TruthTable spec;
+};
+
+/// The next base spec of `family`; `serial` advances the family's own
+/// parameter cycle (width, prime, cascade seed) deterministically.
+BaseSpec make_base(CorpusFamily family, int serial, int min_vars,
+                   int max_vars, std::mt19937_64& rng) {
+  const int span = max_vars - min_vars + 1;
+  const int n = min_vars + serial % span;
+  switch (family) {
+    case CorpusFamily::kHwb: {
+      // hwb needs n >= 3 to be interesting; clamp narrow corpora up.
+      const int w = std::max(3, n);
+      return {"hwb" + std::to_string(w), hwb(w)};
+    }
+    case CorpusFamily::kPrime: {
+      const int p = kPrimes[static_cast<std::size_t>(serial) %
+                            (sizeof(kPrimes) / sizeof(kPrimes[0]))];
+      return {"prime" + std::to_string(n) + "_p" + std::to_string(p),
+              prime_multiplier(n, p)};
+    }
+    case CorpusFamily::kTof: {
+      const int gates = 2 + static_cast<int>(rng() % 7u);  // 2..8 gates
+      const Circuit c = random_circuit(n, gates, GateLibrary::kNCT, rng);
+      return {"tof" + std::to_string(n) + "_g" + std::to_string(gates),
+              c.to_truth_table()};
+    }
+    case CorpusFamily::kRandom:
+      return {"rand" + std::to_string(n), random_reversible_function(n, rng)};
+    case CorpusFamily::kMixed:
+      break;  // handled by the caller's round-robin
+  }
+  return {"rand" + std::to_string(n), random_reversible_function(n, rng)};
+}
+
+}  // namespace
+
+Result<CorpusFamily> parse_corpus_family(const std::string& name) {
+  if (name == "hwb") return CorpusFamily::kHwb;
+  if (name == "prime") return CorpusFamily::kPrime;
+  if (name == "tof") return CorpusFamily::kTof;
+  if (name == "random") return CorpusFamily::kRandom;
+  if (name == "mixed") return CorpusFamily::kMixed;
+  return Status(StatusCode::kInvalidArgument,
+                "unknown corpus family '" + name +
+                    "' (expected hwb|prime|tof|random|mixed)");
+}
+
+Result<std::vector<CorpusEntry>> generate_corpus(
+    const CorpusOptions& options) {
+  if (options.size < 0) {
+    return Status(StatusCode::kInvalidArgument, "corpus size is negative");
+  }
+  if (options.repeat_rate < 0.0 || options.repeat_rate > 1.0) {
+    return Status(StatusCode::kInvalidArgument,
+                  "repeat rate must lie in [0, 1]");
+  }
+  if (options.min_vars < 2 || options.max_vars < options.min_vars ||
+      options.max_vars > 16) {
+    return Status(StatusCode::kInvalidArgument,
+                  "corpus widths must satisfy 2 <= min_vars <= max_vars"
+                  " <= 16");
+  }
+
+  static constexpr CorpusFamily kRoundRobin[] = {
+      CorpusFamily::kHwb, CorpusFamily::kPrime, CorpusFamily::kTof,
+      CorpusFamily::kRandom};
+  std::mt19937_64 rng(options.seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::vector<CorpusEntry> corpus;
+  corpus.reserve(static_cast<std::size_t>(options.size));
+  std::vector<std::size_t> base_indices;  // entries usable as repeat bases
+  std::vector<int> repeat_counts;         // per corpus entry, for labels
+  int serial = 0;
+  for (int i = 0; i < options.size; ++i) {
+    const bool plant_repeat =
+        !base_indices.empty() && coin(rng) < options.repeat_rate;
+    if (plant_repeat) {
+      const std::size_t pick =
+          base_indices[rng() % base_indices.size()];
+      const CorpusEntry& base = corpus[pick];
+      std::vector<int> sigma =
+          random_wire_perm(base.spec.num_vars(), rng);
+      TruthTable repeat = conjugate(base.spec, sigma);
+      if ((rng() & 1u) != 0) repeat = repeat.inverse();
+      const int nth = ++repeat_counts[pick];
+      corpus.push_back(CorpusEntry{
+          base.label + ".c" + std::to_string(nth), std::move(repeat)});
+      repeat_counts.push_back(0);
+    } else {
+      const CorpusFamily fam =
+          options.family == CorpusFamily::kMixed
+              ? kRoundRobin[static_cast<std::size_t>(serial) % 4]
+              : options.family;
+      BaseSpec base = make_base(fam, serial, options.min_vars,
+                                options.max_vars, rng);
+      ++serial;
+      base_indices.push_back(corpus.size());
+      corpus.push_back(
+          CorpusEntry{std::move(base.label), std::move(base.spec)});
+      repeat_counts.push_back(0);
+    }
+  }
+  return corpus;
+}
+
+std::string write_corpus(const std::vector<CorpusEntry>& corpus) {
+  std::string out;
+  out += "# generated by rmrls_corpus (docs/fleet.md); one spec per line,\n";
+  out += "# labels in trailing comments.\n";
+  for (const CorpusEntry& entry : corpus) {
+    out += write_permutation_spec(entry.spec);
+    out += "  # ";
+    out += entry.label;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace rmrls::suite

@@ -1,0 +1,73 @@
+/// \file corpus.hpp
+/// \brief Generated spec corpora for fleet-scale batch benchmarking
+/// (docs/fleet.md).
+///
+/// The fleet harness (bench/fleet_throughput, tools/rmrls_corpus) needs
+/// large spec lists with *controlled orbit structure*: the canonical cache
+/// (docs/caching.md) pays off exactly when many corpus entries share a
+/// wire-relabeling/inversion orbit, so the generator plants repeats as
+/// random conjugations (and optional inversions) of earlier base specs at
+/// a configurable rate. Base specs draw from the classic benchmark
+/// families — hwb and prime-multiplier permutations (Maslov–Miller–Dueck),
+/// simulated random NCT cascades, and uniform random permutations — all
+/// seeded, so one (family, seed, size) triple names the same corpus on
+/// every host.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.hpp"
+#include "rev/truth_table.hpp"
+
+namespace rmrls::suite {
+
+/// Which base-spec generator seeds the corpus.
+enum class CorpusFamily {
+  kHwb,     ///< hidden-weighted-bit, num_vars cycling [3, max_vars]
+  kPrime,   ///< x -> p*x mod 2^n for odd primes p (bijective; MMD family)
+  kTof,     ///< simulated random NCT cascades (Section V-E workload)
+  kRandom,  ///< uniform random permutations
+  kMixed,   ///< round-robin over the four families above
+};
+
+/// Parses "hwb" / "prime" / "tof" / "random" / "mixed".
+[[nodiscard]] Result<CorpusFamily> parse_corpus_family(
+    const std::string& name);
+
+struct CorpusOptions {
+  CorpusFamily family = CorpusFamily::kMixed;
+  int size = 256;  ///< total specs emitted (bases + planted repeats)
+
+  /// Fraction of entries (in [0, 1]) that are *orbit repeats*: a random
+  /// wire conjugation — and, half the time, functional inversion — of a
+  /// previously emitted base. 0 generates all-distinct bases; 0.5 makes
+  /// every second entry cache-servable once its base has been synthesized.
+  double repeat_rate = 0.5;
+
+  int min_vars = 3;  ///< smallest spec width (>= 2)
+  int max_vars = 5;  ///< largest spec width (truth-table sizes stay tiny)
+
+  std::uint64_t seed = 1;  ///< same seed, same corpus, any host
+};
+
+/// One corpus entry: the spec plus a generator-assigned label (e.g.
+/// "hwb4", "prime5_p11.c3" for the 3rd conjugate repeat of prime5_p11).
+struct CorpusEntry {
+  std::string label;
+  TruthTable spec;
+};
+
+/// Generates the corpus. Entry order interleaves bases and repeats
+/// deterministically (a repeat can only reference an earlier entry).
+/// Returns kInvalidArgument for out-of-range options.
+[[nodiscard]] Result<std::vector<CorpusEntry>> generate_corpus(
+    const CorpusOptions& options);
+
+/// Renders a corpus as a `rmrls --batch` spec file: one
+/// `{perm...}  # label` line per entry (io/spec.hpp strips the comment).
+[[nodiscard]] std::string write_corpus(const std::vector<CorpusEntry>& corpus);
+
+}  // namespace rmrls::suite

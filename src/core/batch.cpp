@@ -5,8 +5,10 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
+#include "core/checkpoint.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "rev/equivalence.hpp"
@@ -23,6 +25,29 @@ int resolve_total(int total) {
   if (total > 0) return total;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::string hex16(std::uint64_t key) {
+  static constexpr char digits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[i] = digits[key & 0xf];
+    key >>= 4;
+  }
+  return out;
+}
+
+/// splitmix64 finalizer: stable_spec_key is a plain FNV fold, and its low
+/// bits correlate for near-identical permutations; the finalizer spreads
+/// them before the mod-N shard reduction. Frozen like the key itself —
+/// changing it reshards every deployed corpus (docs/fleet.md).
+std::uint64_t mix64(std::uint64_t z) {
+  z ^= z >> 30;
+  z *= 0xbf58476d1ce4e5b9ULL;
+  z ^= z >> 27;
+  z *= 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return z;
 }
 
 /// Shared mutable state of one batch run; workers pull job indices from
@@ -145,6 +170,21 @@ void worker_loop(BatchContext& ctx, int search_threads) {
     const std::size_t index =
         ctx.next.fetch_add(1, std::memory_order_relaxed);
     if (index >= ctx.jobs->size()) return;
+    const BatchJob& job = (*ctx.jobs)[index];
+    BatchCheckpoint* const cp = ctx.options->checkpoint;
+    if (cp != nullptr && !job.id.empty() && cp->completed(job.id)) {
+      // Resumed: a previous run already synthesized (and emitted) this
+      // job. Nothing runs and nothing is re-emitted — the union of the
+      // previous run's output and this run's output covers the shard
+      // exactly once.
+      BatchJobOutcome& out = (*ctx.outcomes)[index];
+      out.name = job.name;
+      out.skipped = true;
+      out.result.circuit = Circuit(job.spec.num_vars());
+      std::lock_guard<std::mutex> lock(ctx.stats_m);
+      ++ctx.stats.skipped;
+      continue;
+    }
     if (ctx.token->cancelled()) {
       BatchJobOutcome& out = (*ctx.outcomes)[index];
       out.name = (*ctx.jobs)[index].name;
@@ -159,6 +199,14 @@ void worker_loop(BatchContext& ctx, int search_threads) {
       continue;
     }
     run_one_job(ctx, index, search_threads);
+    if (cp != nullptr && !job.id.empty() &&
+        (*ctx.outcomes)[index].status.ok()) {
+      // Marked only on success — a failed job is retried on resume. The
+      // mark lands *after* the leader's publish inside synthesize_cached,
+      // so by checkpoint time the orbit circuit is already in the shared
+      // store and a resumed fleet can still serve the orbit's siblings.
+      cp->mark(job.id);
+    }
   }
 }
 
@@ -241,6 +289,33 @@ ThreadSplit split_threads(int total, int batch_threads, std::size_t jobs) {
   return split;
 }
 
+void assign_job_ids(std::vector<BatchJob>& jobs) {
+  std::unordered_map<std::uint64_t, std::uint64_t> occurrence;
+  for (BatchJob& job : jobs) {
+    const std::uint64_t key = stable_spec_key(job.spec);
+    job.id = hex16(key) + "." + std::to_string(occurrence[key]++);
+  }
+}
+
+bool shard_owns(const TruthTable& spec, int shard_index, int shard_count) {
+  if (shard_count <= 1) return shard_index == 0;
+  return mix64(stable_spec_key(spec)) %
+             static_cast<std::uint64_t>(shard_count) ==
+         static_cast<std::uint64_t>(shard_index);
+}
+
+std::vector<BatchJob> filter_shard(std::vector<BatchJob> jobs, int shard_index,
+                                   int shard_count) {
+  if (shard_count <= 1) return jobs;
+  std::vector<BatchJob> owned;
+  for (BatchJob& job : jobs) {
+    if (shard_owns(job.spec, shard_index, shard_count)) {
+      owned.push_back(std::move(job));
+    }
+  }
+  return owned;
+}
+
 BatchResult run_batch(const std::vector<BatchJob>& jobs,
                       const BatchOptions& options) {
   const auto start = Clock::now();
@@ -248,8 +323,9 @@ BatchResult run_batch(const std::vector<BatchJob>& jobs,
   result.outcomes.resize(jobs.size());
   result.stats.jobs = jobs.size();
   if (jobs.empty()) {
-    result.status =
-        Status(StatusCode::kInvalidArgument, "batch contains no jobs");
+    // A legitimate outcome, not caller misuse: an empty corpus, or a
+    // shard of a small corpus that owns no specs (docs/fleet.md). The
+    // all-zero stats still make a valid summary record.
     return result;
   }
 
@@ -310,6 +386,9 @@ BatchResult run_batch(const std::vector<BatchJob>& jobs,
     watchdog->disarm();
     result.watchdog_fired = watchdog->fired();
   }
+  // Final flush regardless of flush_every: a clean exit leaves the ledger
+  // complete even when periodic flushing was throttled.
+  if (opts.checkpoint != nullptr) opts.checkpoint->flush();
   result.stats = ctx.stats;
   result.stats.jobs = jobs.size();
   result.search_stats = ctx.search_stats;

@@ -31,10 +31,18 @@
 
 namespace rmrls {
 
+class BatchCheckpoint;
+
 /// One synthesis request of a batch.
 struct BatchJob {
   std::string name;  ///< label for outcomes/metrics (e.g. "specs.txt:12")
   TruthTable spec;
+  /// Stable job id `<16-hex stable_spec_key>.<occurrence>` used by shard
+  /// assignment and checkpoint files (docs/fleet.md); filled by
+  /// assign_job_ids over the *whole* corpus, before any shard filtering,
+  /// so ids agree across every shard count. Empty = unidentified (no
+  /// checkpointing for this job).
+  std::string id;
 };
 
 /// Outcome of one job, in input order.
@@ -53,6 +61,10 @@ struct BatchJobOutcome {
   bool cache_hit = false;   ///< served from the cache (memory or disk)
   bool orbit_hit = false;   ///< hit with a non-identity orbit transform
   bool deduped = false;     ///< adopted a concurrent leader's result
+  /// True iff a checkpoint said this job already completed in a previous
+  /// run: nothing ran, nothing is emitted for it (status stays kOk with an
+  /// empty circuit; the CLI suppresses its per-job output entirely).
+  bool skipped = false;
   /// Correlation id of this job (obs/telemetry.hpp): stamped into the
   /// job's trace events, the heartbeat `active` set, and the per-job
   /// metrics record. 0 when telemetry is disarmed — disabled runs carry
@@ -73,6 +85,7 @@ struct BatchStats {
   std::uint64_t cache_misses = 0;      ///< jobs that invoked synthesis
   std::uint64_t cache_orbit_hits = 0;  ///< subset of hits: relabeled/inverted
   std::uint64_t batch_dedup = 0;       ///< followers served by a leader
+  std::uint64_t skipped = 0;  ///< checkpoint-resumed (not in any bucket above)
 };
 
 struct BatchOptions {
@@ -107,6 +120,12 @@ struct BatchOptions {
 
   /// Canonicalizer configuration (exact-scan cutoff, candidate budget).
   CanonicalOptions canonical;
+
+  /// Optional crash-resume ledger (core/checkpoint.hpp): jobs whose id is
+  /// already recorded are skipped wholesale; every job finishing kOk is
+  /// marked (and flushed per BatchCheckpoint's own cadence). Jobs with an
+  /// empty id pass through unrecorded.
+  BatchCheckpoint* checkpoint = nullptr;
 };
 
 struct BatchResult {
@@ -162,8 +181,33 @@ struct ThreadSplit {
 [[nodiscard]] ThreadSplit split_threads(int total, int batch_threads,
                                         std::size_t jobs);
 
+/// Fills every job's stable id (docs/fleet.md): 16 lowercase hex digits of
+/// stable_spec_key(spec), a dot, then the 0-based occurrence count of that
+/// key among *earlier* jobs — so exact-duplicate corpus lines stay
+/// distinct, and ids depend only on spec content and relative duplicate
+/// order, never on the shard count. Call on the full corpus BEFORE
+/// filter_shard.
+void assign_job_ids(std::vector<BatchJob>& jobs);
+
+/// True iff `spec` belongs to shard `shard_index` of `shard_count`
+/// (docs/fleet.md): the stable spec key is finalizer-mixed (splitmix64) so
+/// consecutive permutations spread evenly, then reduced mod shard_count.
+/// Every spec belongs to exactly one shard; membership is independent of
+/// file order, duplicates, and the process evaluating it.
+[[nodiscard]] bool shard_owns(const TruthTable& spec, int shard_index,
+                              int shard_count);
+
+/// The subset of `jobs` owned by shard `shard_index` of `shard_count`, in
+/// input order. shard_count <= 1 returns the input unchanged (ids and
+/// all); shard_index out of range returns an empty vector.
+[[nodiscard]] std::vector<BatchJob> filter_shard(std::vector<BatchJob> jobs,
+                                                 int shard_index,
+                                                 int shard_count);
+
 /// Runs the batch. Always returns; never throws on budget, cancellation,
-/// or individual job failure.
+/// or individual job failure. An empty `jobs` vector is a valid batch (a
+/// shard that owns no specs, an empty corpus): it returns kOk with
+/// all-zero stats.
 [[nodiscard]] BatchResult run_batch(const std::vector<BatchJob>& jobs,
                                     const BatchOptions& options = {});
 

@@ -1,5 +1,6 @@
 #include "core/synth_cache.hpp"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -35,6 +36,17 @@ std::string hex_key(std::uint64_t key) {
   return out;
 }
 
+/// File age relative to the filesystem clock's now; errors read as age 0
+/// (freshly written) so a racing removal never looks stale.
+std::chrono::milliseconds file_age(const std::filesystem::path& path) {
+  std::error_code ec;
+  const auto mtime = std::filesystem::last_write_time(path, ec);
+  if (ec) return std::chrono::milliseconds{0};
+  const auto now = std::filesystem::file_time_type::clock::now();
+  if (now <= mtime) return std::chrono::milliseconds{0};
+  return std::chrono::duration_cast<std::chrono::milliseconds>(now - mtime);
+}
+
 }  // namespace
 
 SynthCache::SynthCache(SynthCacheOptions options)
@@ -60,6 +72,9 @@ SynthCache::SynthCache(SynthCacheOptions options)
     // cache (reads and writes below fail soft, entry by entry).
     std::error_code ec;
     std::filesystem::create_directories(options_.dir, ec);
+    // A fleet member joining a long-lived shared store sweeps dead
+    // processes' litter (and any budget overrun) before its first store.
+    if (options_.disk_gc_every > 0) gc_disk();
   }
 }
 
@@ -111,6 +126,21 @@ SynthCache::Acquisition SynthCache::acquire(std::uint64_t key) {
       publish(key, &*revived);
       return {Outcome::kHit, std::move(revived)};
     }
+    // Disk miss: other *processes* sharing this store may be synthesizing
+    // the key right now. The lease protocol either claims the key for this
+    // process or waits for the winner's .tfc to land (docs/fleet.md).
+    if (options_.cross_process_lease) {
+      if (std::optional<Circuit> adopted = lease_or_wait(key)) {
+        {
+          std::unique_lock<std::mutex> lock(shard.m);
+          ++shard.stats.disk_hits;
+          if (tele_disk_hits_ != nullptr) tele_disk_hits_->inc();
+          insert_locked(shard, key, *adopted);
+        }
+        publish(key, &*adopted);
+        return {Outcome::kHit, std::move(adopted)};
+      }
+    }
   }
   {
     std::unique_lock<std::mutex> lock(shard.m);
@@ -137,6 +167,10 @@ void SynthCache::publish(std::uint64_t key, const Circuit* circuit) {
   if (circuit != nullptr && !options_.dir.empty()) {
     store_to_disk(key, *circuit);
   }
+  // The lease outlives the synthesis, not the process: release it on
+  // every publish path, including a failed synthesis (circuit ==
+  // nullptr), so other processes stop waiting and try themselves.
+  release_lease(key);
   if (flight != nullptr) {
     std::unique_lock<std::mutex> wait_lock(flight->m);
     flight->done = true;
@@ -259,7 +293,143 @@ void SynthCache::store_to_disk(std::uint64_t key,
   }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
-  if (ec) std::filesystem::remove(tmp, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return;
+  }
+  if (options_.disk_gc_every > 0 &&
+      (stores_since_gc_.fetch_add(1, std::memory_order_relaxed) + 1) %
+              options_.disk_gc_every ==
+          0) {
+    gc_disk();
+  }
+}
+
+bool SynthCache::try_lease(std::uint64_t key) {
+  const std::filesystem::path path =
+      std::filesystem::path(options_.dir) / (hex_key(key) + ".lease");
+  const int fd =
+      ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (fd < 0) return false;
+  // The pid is advisory (debugging a wedged fleet by hand); staleness is
+  // judged by mtime, never by pid liveness — pids recycle across hosts.
+  const std::string body = std::to_string(::getpid()) + "\n";
+  [[maybe_unused]] const auto n = ::write(fd, body.data(), body.size());
+  ::close(fd);
+  {
+    std::lock_guard<std::mutex> lock(lease_m_);
+    owned_leases_.insert(key);
+  }
+  lease_acquired_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void SynthCache::release_lease(std::uint64_t key) {
+  {
+    std::lock_guard<std::mutex> lock(lease_m_);
+    if (owned_leases_.erase(key) == 0) return;
+  }
+  std::error_code ec;
+  std::filesystem::remove(
+      std::filesystem::path(options_.dir) / (hex_key(key) + ".lease"), ec);
+}
+
+std::optional<Circuit> SynthCache::lease_or_wait(std::uint64_t key) {
+  if (try_lease(key)) return std::nullopt;  // we lead, lease in hand
+  // Lost the race: another process is synthesizing this key. Poll for its
+  // .tfc (adopt), for the lease to vanish (retry the claim), or for the
+  // lease to go stale (steal it — its holder died without cleanup). The
+  // wait is bounded: past lease_wait we synthesize anyway, trading
+  // duplicate work for guaranteed progress.
+  lease_waits_.fetch_add(1, std::memory_order_relaxed);
+  const std::filesystem::path lease =
+      std::filesystem::path(options_.dir) / (hex_key(key) + ".lease");
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.lease_wait;
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds{20});
+    if (std::optional<Circuit> revived = load_from_disk(key)) return revived;
+    std::error_code ec;
+    const bool lease_present = std::filesystem::exists(lease, ec) && !ec;
+    if (!lease_present) {
+      if (try_lease(key)) return std::nullopt;
+      continue;  // lost again to a third process
+    }
+    if (file_age(lease) > options_.lease_stale) {
+      std::filesystem::remove(lease, ec);  // steal; remove is idempotent
+      if (try_lease(key)) return std::nullopt;
+    }
+  }
+  lease_timeouts_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;  // lead without a lease
+}
+
+std::size_t SynthCache::gc_disk() const {
+  if (options_.dir.empty()) return 0;
+  // One sweeper at a time per process; concurrent calls return instead of
+  // queueing identical scans. Cross-process overlap is harmless — both
+  // sweepers converge on the same survivors.
+  bool expected = false;
+  if (!gc_running_.compare_exchange_strong(expected, true,
+                                           std::memory_order_acquire)) {
+    return 0;
+  }
+  struct TfcFile {
+    std::filesystem::path path;
+    std::filesystem::file_time_type mtime;
+    std::uintmax_t bytes = 0;
+  };
+  std::vector<TfcFile> tfcs;
+  std::uintmax_t tfc_bytes = 0;
+  std::error_code ec;
+  for (std::filesystem::directory_iterator
+           it(options_.dir, ec),
+       end;
+       !ec && it != end; it.increment(ec)) {
+    const std::filesystem::path& path = it->path();
+    const std::string name = path.filename().string();
+    if (name.size() > 16 && name.compare(16, 4, ".tmp") == 0) {
+      // Orphaned tmp file: its writer died between create and rename. A
+      // live writer's tmp is younger than lease_stale and survives.
+      if (file_age(path) > options_.lease_stale) {
+        std::error_code rec;
+        std::filesystem::remove(path, rec);
+      }
+      continue;
+    }
+    if (path.extension() == ".lease") {
+      if (file_age(path) > options_.lease_stale) {
+        std::error_code rec;
+        std::filesystem::remove(path, rec);
+      }
+      continue;
+    }
+    if (path.extension() != ".tfc") continue;
+    std::error_code sec;
+    const std::uintmax_t bytes = std::filesystem::file_size(path, sec);
+    const auto mtime = std::filesystem::last_write_time(path, sec);
+    if (sec) continue;  // raced with a concurrent removal
+    tfcs.push_back(TfcFile{path, mtime, bytes});
+    tfc_bytes += bytes;
+  }
+  std::size_t evicted = 0;
+  if (options_.disk_byte_budget > 0 && tfc_bytes > options_.disk_byte_budget) {
+    std::sort(tfcs.begin(), tfcs.end(),
+              [](const TfcFile& a, const TfcFile& b) {
+                return a.mtime < b.mtime;
+              });
+    for (const TfcFile& f : tfcs) {
+      if (tfc_bytes <= options_.disk_byte_budget) break;
+      std::error_code rec;
+      if (std::filesystem::remove(f.path, rec) && !rec) {
+        tfc_bytes -= std::min<std::uintmax_t>(tfc_bytes, f.bytes);
+        ++evicted;
+      }
+    }
+    disk_evictions_.fetch_add(evicted, std::memory_order_relaxed);
+  }
+  gc_running_.store(false, std::memory_order_release);
+  return evicted;
 }
 
 SynthCacheStats SynthCache::stats() const {
@@ -273,6 +443,10 @@ SynthCacheStats SynthCache::stats() const {
     total.inserts += shard.stats.inserts;
     total.evictions += shard.stats.evictions;
   }
+  total.lease_acquired = lease_acquired_.load(std::memory_order_relaxed);
+  total.lease_waits = lease_waits_.load(std::memory_order_relaxed);
+  total.lease_timeouts = lease_timeouts_.load(std::memory_order_relaxed);
+  total.disk_evictions = disk_evictions_.load(std::memory_order_relaxed);
   return total;
 }
 

@@ -19,6 +19,8 @@
 
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -28,6 +30,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "obs/telemetry.hpp"
@@ -49,6 +52,32 @@ struct SynthCacheOptions {
   /// written on insert and consulted on memory misses (warm restarts).
   /// Empty disables it. Unreadable or corrupt files degrade to misses.
   std::string dir;
+
+  /// Cross-process single-flight over the disk store (docs/fleet.md): a
+  /// leader that misses both memory and disk claims `<hex key>.lease` via
+  /// O_CREAT|O_EXCL before synthesizing; a process that loses the race
+  /// polls for the .tfc to appear instead of synthesizing the same cold
+  /// orbit in parallel. Only meaningful with a non-empty `dir`.
+  bool cross_process_lease = true;
+
+  /// Longest a loser polls for another process's result before giving up
+  /// and synthesizing anyway (duplicate work, never wrong results).
+  std::chrono::milliseconds lease_wait{3000};
+
+  /// A lease older than this is treated as abandoned (its holder was
+  /// SIGKILLed mid-synthesis) and stolen. Must comfortably exceed the
+  /// slowest expected single synthesis.
+  std::chrono::milliseconds lease_stale{120000};
+
+  /// Byte budget of the on-disk store, 0 = unbounded. Enforced by
+  /// gc_disk(): oldest-mtime .tfc files are removed past the budget
+  /// (publish rewrites a revived entry's file, so mtime approximates
+  /// recency of use across the whole fleet).
+  std::size_t disk_byte_budget = 0;
+
+  /// Run gc_disk() every this many disk stores (plus once at
+  /// construction). 0 disables automatic sweeps.
+  std::uint64_t disk_gc_every = 64;
 };
 
 /// Counters of one cache instance, aggregated across shards.
@@ -59,6 +88,10 @@ struct SynthCacheStats {
   std::uint64_t dedup_waits = 0;  ///< followers that blocked on a leader
   std::uint64_t inserts = 0;
   std::uint64_t evictions = 0;
+  std::uint64_t lease_acquired = 0;  ///< cross-process leases claimed
+  std::uint64_t lease_waits = 0;     ///< lost lease races (polled instead)
+  std::uint64_t lease_timeouts = 0;  ///< poll expired; synthesized anyway
+  std::uint64_t disk_evictions = 0;  ///< .tfc files removed by gc_disk()
 };
 
 class SynthCache {
@@ -96,6 +129,15 @@ class SynthCache {
   [[nodiscard]] std::size_t bytes_used() const;
   [[nodiscard]] std::size_t entry_count() const;
 
+  /// Sweeps the disk store: removes stale .lease / .tmp* litter from dead
+  /// processes, then evicts oldest-mtime .tfc files until the store fits
+  /// `disk_byte_budget` (no-op budget when 0). Safe to run concurrently
+  /// with readers and writers in any process — every removal races only
+  /// against tmp+rename republication, and a reader that loses sees a
+  /// plain miss. Returns the number of .tfc files removed. Runs
+  /// automatically at construction and every `disk_gc_every` stores.
+  std::size_t gc_disk() const;
+
  private:
   struct Entry {
     std::uint64_t key = 0;
@@ -132,9 +174,27 @@ class SynthCache {
   [[nodiscard]] std::optional<Circuit> load_from_disk(std::uint64_t key) const;
   void store_to_disk(std::uint64_t key, const Circuit& circuit) const;
 
+  /// O_CREAT|O_EXCL claim of `<hex key>.lease`; true iff this process now
+  /// owns the key's cross-process flight (tracked in owned_leases_).
+  bool try_lease(std::uint64_t key);
+  void release_lease(std::uint64_t key);
+  /// The leader path's lease protocol after a disk miss. Returns a circuit
+  /// when another process published while we polled (adopt as disk hit);
+  /// nullopt means: synthesize (with or without the lease).
+  [[nodiscard]] std::optional<Circuit> lease_or_wait(std::uint64_t key);
+
   SynthCacheOptions options_;
   std::size_t shard_budget_ = 0;
   std::vector<Shard> shards_;
+
+  std::mutex lease_m_;
+  std::unordered_set<std::uint64_t> owned_leases_;
+  mutable std::atomic<std::uint64_t> lease_acquired_{0};
+  mutable std::atomic<std::uint64_t> lease_waits_{0};
+  mutable std::atomic<std::uint64_t> lease_timeouts_{0};
+  mutable std::atomic<std::uint64_t> disk_evictions_{0};
+  mutable std::atomic<std::uint64_t> stores_since_gc_{0};
+  mutable std::atomic<bool> gc_running_{false};
 
   /// Live telemetry (obs/telemetry.hpp): handles grabbed once at
   /// construction when the process registry is armed, null otherwise —

@@ -89,9 +89,9 @@ Result<std::vector<NamedSpec>> parse_permutation_batch_checked(
     specs.push_back(NamedSpec{filename + ":" + std::to_string(line_no),
                               std::move(parsed).value()});
   }
-  if (specs.empty()) {
-    return Status::invalid_spec(filename, "batch file contains no specs");
-  }
+  // An all-blank/comment file parses to an empty batch — a valid input
+  // (docs/fleet.md: a generated shard corpus may legitimately be empty);
+  // run_batch and the CLI report jobs_total=0 and exit 0.
   return specs;
 }
 

@@ -39,8 +39,8 @@ struct NamedSpec {
 /// Parses a spec-list file (`rmrls --batch`): one permutation spec per
 /// line, `#` comments and blank lines skipped. Never throws: the first
 /// malformed line returns its kParseError / kInvalidSpec Status with the
-/// real file line number; a file with no specs at all is kInvalidSpec
-/// (docs/robustness.md).
+/// real file line number. A file with no specs at all parses to an empty
+/// vector — a valid (zero-job) batch, not an error (docs/fleet.md).
 [[nodiscard]] Result<std::vector<NamedSpec>> parse_permutation_batch_checked(
     const std::string& text, const std::string& filename = "<batch>");
 

@@ -164,8 +164,10 @@ bool MetricsValidator::check_v1(const JsonValue& v, const std::string& where) {
   }
   const JsonValue* batch_jobs = v.find("batch_jobs");
   if (batch_jobs != nullptr) {
-    if (!batch_jobs->is_number() || batch_jobs->number < 1) {
-      return fail(where, "batch_jobs is not a number >= 1");
+    // Zero jobs is a valid batch: an empty corpus, or a fleet shard that
+    // owns no specs (docs/fleet.md) — its summary record still validates.
+    if (!batch_jobs->is_number() || batch_jobs->number < 0) {
+      return fail(where, "batch_jobs is not a number >= 0");
     }
     const JsonValue* orbit_hits = v.find("cache_orbit_hits");
     const JsonValue* dedup = v.find("batch_dedup");
@@ -184,6 +186,15 @@ bool MetricsValidator::check_v1(const JsonValue& v, const std::string& where) {
       return fail(where,
                   "cache_hits + cache_misses + batch_dedup exceeds"
                   " batch_jobs");
+    }
+    // Checkpoint-resumed jobs (docs/fleet.md): optional, bounded by the
+    // job count like every other per-job bucket.
+    const JsonValue* skipped = v.find("batch_skipped");
+    if (skipped != nullptr &&
+        (!skipped->is_number() || skipped->number < 0 ||
+         skipped->number > batch_jobs->number)) {
+      return fail(where,
+                  "batch_skipped is not a number in [0, batch_jobs]");
     }
   }
   // Optional transposition-table / search-core fields (PR 7). Old records

@@ -245,4 +245,24 @@ TruthTable reconstruct_spec(const TruthTable& representative,
   return transform.inverted ? conj.inverse() : conj;
 }
 
+std::uint64_t stable_spec_key(const TruthTable& spec) {
+  // FNV-1a, 64-bit. Frozen constants: this key is persisted in checkpoint
+  // files and decides shard membership across processes, so it must hash
+  // identically forever (docs/fleet.md). Each image value is folded as 8
+  // little-endian bytes after a num_vars prefix byte, which is exactly the
+  // information content of the normalized spec line.
+  constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t h = kOffset;
+  const auto fold = [&](std::uint64_t byte) {
+    h ^= byte & 0xffu;
+    h *= kPrime;
+  };
+  fold(static_cast<std::uint64_t>(spec.num_vars()));
+  for (const std::uint64_t v : spec.image()) {
+    for (int b = 0; b < 8; ++b) fold(v >> (8 * b));
+  }
+  return h;
+}
+
 }  // namespace rmrls

@@ -106,4 +106,18 @@ struct CanonicalForm {
 [[nodiscard]] TruthTable reconstruct_spec(const TruthTable& representative,
                                           const OrbitTransform& transform);
 
+/// Stable fleet-sharding key of a spec (docs/fleet.md): FNV-1a over the
+/// normalized permutation image — byte-for-byte what hashing the
+/// canonically written spec line would produce, so it depends only on the
+/// function itself, never on file order, whitespace, the process, or the
+/// C++ library's hash seed. This value is a WIRE FORMAT: it names
+/// checkpoint entries and decides `--shard i/N` membership across
+/// processes and releases, so the constants below must never change.
+///
+/// Unlike CanonicalForm::key this is NOT orbit-invariant: two orbit
+/// members get different shard keys (and may land in different shards);
+/// the shared disk store and the lease protocol dedupe the orbit across
+/// shards instead.
+[[nodiscard]] std::uint64_t stable_spec_key(const TruthTable& spec);
+
 }  // namespace rmrls

@@ -383,9 +383,15 @@ TEST(Batch, SharedDeadlineCancelsUnstartedJobs) {
   }
 }
 
-TEST(Batch, EmptyBatchIsInvalidArgument) {
+TEST(Batch, EmptyBatchSucceedsWithZeroStats) {
+  // A shard that owns no specs (docs/fleet.md) — or an empty corpus — is
+  // a valid zero-job batch, not caller misuse.
   const BatchResult result = run_batch({}, {});
-  EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(result.status.ok());
+  EXPECT_EQ(result.stats.jobs, 0u);
+  EXPECT_EQ(result.stats.completed, 0u);
+  EXPECT_EQ(result.stats.failed, 0u);
+  EXPECT_TRUE(result.outcomes.empty());
 }
 
 TEST(Batch, WarmDiskCacheServesASecondBatch) {

@@ -2,7 +2,7 @@
 /// \brief Merges rmrls metrics JSONL files into a fleet summary
 /// (docs/observability.md).
 ///
-/// Usage: metrics_report FILE [FILE...]
+/// Usage: metrics_report [--label NAME] FILE [[--label NAME] FILE...]
 ///
 /// The ROADMAP's merged-metrics summary tool: every input file is first
 /// validated against the shared rules (obs/metrics_validate.hpp — same
@@ -14,7 +14,11 @@
 ///   * an exact per-job wall-time row computed from the v1 job records
 ///     themselves;
 ///   * cache hit-rate and throughput summaries;
-///   * a final-heartbeat health line (uptime, jobs done/failed/in-flight).
+///   * a final-heartbeat health line (uptime, jobs done/failed/in-flight);
+///   * with several inputs (the fleet case, docs/fleet.md): a per-shard
+///     breakdown table, one row per input file, labelled by the preceding
+///     --label or, failing that, the file's basename; a summary record's
+///     `shard` field (rmrls --shard) is shown alongside.
 ///
 /// Exit 0 on success, 1 on validation errors or no records, 2 on usage.
 
@@ -65,6 +69,31 @@ struct Aggregate {
   double max_uptime_ns = 0;
   std::string last_health;  ///< rendered from the last file's heartbeat
 };
+
+/// Per-input-file (= per fleet shard) slice of the same counters, for the
+/// breakdown table (docs/fleet.md).
+struct ShardRow {
+  std::string label;  ///< --label, or the file's basename
+  std::string shard;  ///< the summary record's "shard" field, if present
+  std::uint64_t jobs = 0;  ///< v1 job records in this file
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+  double skipped = 0;  ///< batch_skipped of the summary (resumed jobs)
+  double cache_hits = 0, cache_misses = 0;
+  bool cache_seen = false;
+  double elapsed_us = 0;  ///< sum of per-job wall time
+};
+
+/// The --label for an input, defaulting to its basename without the
+/// extension ("out_4_2.jsonl" -> "out_4_2").
+std::string infer_label(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = base.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) base.resize(dot);
+  return base;
+}
 
 void merge_histogram(HistogramSnapshot& into, const JsonValue& h) {
   const JsonValue* count = h.find("count");
@@ -136,28 +165,41 @@ void absorb_final_heartbeat(Aggregate& agg, const JsonValue& hb) {
   agg.last_health = health.str();
 }
 
-void absorb_v1(Aggregate& agg, const JsonValue& v) {
+void absorb_v1(Aggregate& agg, ShardRow& row, const JsonValue& v) {
   if (v.find("batch_jobs") != nullptr) {
     // Batch summary record: cache counters (unless heartbeats already
     // provided engine-level ones), not a job sample.
-    if (!agg.cache_from_heartbeat) {
-      const JsonValue* hits = v.find("cache_hits");
-      const JsonValue* misses = v.find("cache_misses");
-      if (hits != nullptr && misses != nullptr) {
+    const JsonValue* hits = v.find("cache_hits");
+    const JsonValue* misses = v.find("cache_misses");
+    if (hits != nullptr && misses != nullptr) {
+      row.cache_seen = true;
+      row.cache_hits += hits->number;
+      row.cache_misses += misses->number;
+      if (!agg.cache_from_heartbeat) {
         agg.cache_seen = true;
         agg.cache_hits += hits->number;
         agg.cache_misses += misses->number;
       }
     }
+    const JsonValue* skipped = v.find("batch_skipped");
+    if (skipped != nullptr && skipped->is_number()) {
+      row.skipped += skipped->number;
+    }
+    const JsonValue* shard = v.find("shard");
+    if (shard != nullptr && shard->is_string()) row.shard = shard->string;
     return;
   }
   const JsonValue* elapsed = v.find("elapsed_us");
   agg.job_elapsed_us.push_back(elapsed->number);
+  ++row.jobs;
+  row.elapsed_us += elapsed->number;
   const JsonValue* success = v.find("success");
   if (success->boolean) {
     ++agg.jobs_succeeded;
+    ++row.ok;
   } else {
     ++agg.jobs_failed;
+    ++row.failed;
   }
   const JsonValue* serve_status = v.find("serve_status");
   if (serve_status != nullptr && serve_status->is_string()) {
@@ -195,20 +237,50 @@ void print_row(const std::string& name, std::uint64_t count, double p50,
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::cerr << "usage: metrics_report FILE [FILE...]\n";
+  // `--label NAME` applies to the next FILE; unlabelled files fall back
+  // to their basename.
+  struct Input {
+    std::string path;
+    std::string label;
+  };
+  std::vector<Input> inputs;
+  std::string pending_label;
+  for (int f = 1; f < argc; ++f) {
+    const std::string arg = argv[f];
+    if (arg == "--label") {
+      if (f + 1 >= argc) {
+        std::cerr << "missing value for --label\n";
+        return 2;
+      }
+      pending_label = argv[++f];
+      continue;
+    }
+    inputs.push_back(Input{
+        arg, pending_label.empty() ? infer_label(arg) : pending_label});
+    pending_label.clear();
+  }
+  if (inputs.empty()) {
+    std::cerr << "usage: metrics_report [--label NAME] FILE"
+                 " [[--label NAME] FILE...]\n";
+    return 2;
+  }
+  if (!pending_label.empty()) {
+    std::cerr << "--label '" << pending_label << "' names no file\n";
     return 2;
   }
   rmrls::MetricsValidator validator;
   Aggregate agg;
-  for (int f = 1; f < argc; ++f) {
-    std::ifstream in(argv[f]);
+  std::vector<ShardRow> rows;
+  for (const Input& input : inputs) {
+    std::ifstream in(input.path);
     if (!in) {
-      std::cerr << "cannot open " << argv[f] << "\n";
+      std::cerr << "cannot open " << input.path << "\n";
       return 1;
     }
     validator.begin_stream();
     ++agg.files;
+    ShardRow row;
+    row.label = input.label;
     std::string line;
     std::uint64_t lineno = 0;
     std::optional<JsonValue> final_heartbeat;
@@ -216,7 +288,7 @@ int main(int argc, char** argv) {
       ++lineno;
       if (line.empty()) continue;
       const std::string where =
-          std::string(argv[f]) + ":" + std::to_string(lineno);
+          input.path + ":" + std::to_string(lineno);
       if (!validator.check_line(line, where)) continue;
       ++agg.records;
       auto parsed = rmrls::json_parse(line);  // validated above; parses
@@ -225,10 +297,11 @@ int main(int argc, char** argv) {
         ++agg.heartbeats;
         final_heartbeat = std::move(*parsed);
       } else {
-        absorb_v1(agg, *parsed);
+        absorb_v1(agg, row, *parsed);
       }
     }
     if (final_heartbeat) absorb_final_heartbeat(agg, *final_heartbeat);
+    rows.push_back(std::move(row));
   }
   for (const std::string& error : validator.errors()) {
     std::cerr << error << "\n";
@@ -298,6 +371,35 @@ int main(int argc, char** argv) {
                 << 100.0 * agg.cache_hits / lookups << "% hit rate";
     }
     std::cout << "\n";
+  }
+
+  if (rows.size() > 1) {
+    // Per-shard breakdown (docs/fleet.md): one row per input file. The
+    // merged numbers above remain the fleet truth; this table shows how
+    // evenly the hash sharding spread the work and which shard resumed.
+    std::cout << "\nper-shard breakdown:\n  " << std::left << std::setw(20)
+              << "label" << std::setw(8) << "shard" << std::right
+              << std::setw(7) << "jobs" << std::setw(7) << "ok"
+              << std::setw(8) << "failed" << std::setw(9) << "resumed"
+              << std::setw(8) << "hit%" << std::setw(12) << "job_time_s"
+              << "\n";
+    for (const ShardRow& row : rows) {
+      const double lookups = row.cache_hits + row.cache_misses;
+      std::ostringstream hit_rate;
+      if (row.cache_seen && lookups > 0) {
+        hit_rate << std::fixed << std::setprecision(1)
+                 << 100.0 * row.cache_hits / lookups;
+      } else {
+        hit_rate << "-";
+      }
+      std::cout << "  " << std::left << std::setw(20) << row.label
+                << std::setw(8) << (row.shard.empty() ? "-" : row.shard)
+                << std::right << std::setw(7) << row.jobs << std::setw(7)
+                << row.ok << std::setw(8) << row.failed << std::setw(9)
+                << static_cast<std::uint64_t>(row.skipped) << std::setw(8)
+                << hit_rate.str() << std::setw(12) << std::fixed
+                << std::setprecision(2) << row.elapsed_us * 1e-6 << "\n";
+    }
   }
 
   if (!agg.job_elapsed_us.empty() || agg.max_uptime_ns > 0) {

@@ -15,6 +15,7 @@
 #include "bench_suite/registry.hpp"
 #include "core/batch.hpp"
 #include "core/cancel.hpp"
+#include "core/checkpoint.hpp"
 #include "core/resilient.hpp"
 #include "core/status.hpp"
 #include "core/synth_cache.hpp"
@@ -146,6 +147,19 @@ void help(const char* argv0, std::ostream& os) {
         "                     each search; docs/parallelism.md). --time-ms\n"
         "                     bounds the *whole batch* under one watchdog.\n"
         "\n"
+        "Fleet scale-out (docs/fleet.md, --batch mode only):\n"
+        "  --shard I/N        run only shard I of N (0-based): each spec\n"
+        "                     line is assigned to exactly one shard by a\n"
+        "                     stable content hash, so N processes over the\n"
+        "                     same file partition it without coordination\n"
+        "  --checkpoint FILE  record completed job ids (tmp+rename); on\n"
+        "                     restart those jobs are skipped and the run\n"
+        "                     resumes where the dead one stopped\n"
+        "  --cache-gc-mb N    byte budget of the --cache-dir store in MiB\n"
+        "                     (0 = unbounded); oldest .tfc files are\n"
+        "                     garbage-collected past it, and stale lease/\n"
+        "                     tmp litter from dead processes is swept\n"
+        "\n"
         "Resilience (docs/robustness.md):\n"
         "  --resilient        fallback cascade: best-first, then greedy,\n"
         "                     then transformation-based; the winner is\n"
@@ -244,8 +258,12 @@ int main(int argc, char** argv) {
   std::string batch_file;
   std::string cache_dir;
   long long cache_mb = -1;  // sentinel: 64 in batch / with --cache-dir, else 0
+  long long cache_gc_mb = 0;  // disk-store budget, 0 = unbounded
   int canonical_cap = -1;
   int batch_threads = 0;
+  int shard_index = 0;
+  int shard_count = 1;
+  std::string checkpoint_file;
   SynthesisOptions options;
   bool run_templates = false;
   bool run_fredkinize = false;
@@ -287,6 +305,23 @@ int main(int argc, char** argv) {
     } else if (arg == "--batch-threads") {
       batch_threads = static_cast<int>(num_ll(arg, next()));
       if (batch_threads < 0) bad_number(arg, std::to_string(batch_threads));
+    } else if (arg == "--shard") {
+      const std::string v = next();
+      const std::size_t slash = v.find('/');
+      if (slash == std::string::npos) bad_number(arg, v);
+      shard_index =
+          static_cast<int>(num_ll(arg, v.substr(0, slash)));
+      shard_count = static_cast<int>(num_ll(arg, v.substr(slash + 1)));
+      if (shard_count < 1 || shard_index < 0 || shard_index >= shard_count) {
+        std::cerr << "--shard wants I/N with 0 <= I < N, got '" << v
+                  << "'\n";
+        return usage(argv[0]);
+      }
+    } else if (arg == "--checkpoint") {
+      checkpoint_file = next();
+    } else if (arg == "--cache-gc-mb") {
+      cache_gc_mb = num_ll(arg, next());
+      if (cache_gc_mb < 0) bad_number(arg, std::to_string(cache_gc_mb));
     } else if (arg == "--list") {
       for (const std::string& name : suite::benchmark_names()) {
         std::cout << name << "\n";
@@ -478,6 +513,21 @@ int main(int argc, char** argv) {
       for (NamedSpec& s : parsed.value()) {
         jobs.push_back(BatchJob{std::move(s.name), std::move(s.table)});
       }
+      // Ids are assigned over the FULL corpus before shard filtering so a
+      // job keeps the same id whatever N is (docs/fleet.md) — a checkpoint
+      // written at --shard 0/4 still resumes correctly at 0/8.
+      assign_job_ids(jobs);
+      jobs = filter_shard(std::move(jobs), shard_index, shard_count);
+
+      std::optional<BatchCheckpoint> checkpoint;
+      if (!checkpoint_file.empty()) {
+        Result<BatchCheckpoint> opened = BatchCheckpoint::open(checkpoint_file);
+        if (!opened.ok()) return input_error(opened.status());
+        checkpoint.emplace(std::move(opened).value());
+        // Write (or rewrite) the file before any job runs, so a run killed
+        // mid-corpus always leaves a loadable ledger behind.
+        checkpoint->flush();
+      }
 
       install_cancel_signals();
       BatchOptions bopts;
@@ -489,12 +539,14 @@ int main(int argc, char** argv) {
       bopts.use_watchdog = use_watchdog;
       bopts.cancel_token = &g_cancel;
       if (canonical_cap >= 0) bopts.canonical.max_vars = canonical_cap;
+      if (checkpoint.has_value()) bopts.checkpoint = &*checkpoint;
       const long long mb = cache_mb < 0 ? 64 : cache_mb;
       std::unique_ptr<SynthCache> cache;
       if (mb > 0) {
         SynthCacheOptions copts;
         copts.byte_budget = static_cast<std::size_t>(mb) << 20;
         copts.dir = cache_dir;
+        copts.disk_byte_budget = static_cast<std::size_t>(cache_gc_mb) << 20;
         cache = std::make_unique<SynthCache>(std::move(copts));
         bopts.cache = cache.get();
       }
@@ -505,6 +557,9 @@ int main(int argc, char** argv) {
       if (snapshotter != nullptr) snapshotter->stop();
 
       for (const BatchJobOutcome& out : br.outcomes) {
+        // Checkpoint-resumed jobs were already emitted by the run that
+        // completed them; re-printing would duplicate output in the union.
+        if (out.skipped) continue;
         if (!out.status.ok()) {
           std::cerr << out.name << ": " << out.status.to_string() << "\n";
           continue;
@@ -519,7 +574,8 @@ int main(int argc, char** argv) {
       }
       std::cerr << "batch: " << br.stats.jobs << " jobs, "
                 << br.stats.completed << " ok, " << br.stats.failed
-                << " failed, " << br.stats.cache_hits << " cache hits ("
+                << " failed, " << br.stats.skipped << " resumed, "
+                << br.stats.cache_hits << " cache hits ("
                 << br.stats.cache_orbit_hits << " via orbit), "
                 << br.stats.cache_misses << " misses, "
                 << br.stats.batch_dedup << " deduped, "
@@ -530,6 +586,7 @@ int main(int argc, char** argv) {
         std::int64_t total_gates = 0;
         std::int64_t total_cost = 0;
         for (const BatchJobOutcome& job : br.outcomes) {
+          if (job.skipped) continue;  // emitted by the run that completed it
           MetricsRegistry record;
           record.set("name", job.name)
               .set("vars", job.result.circuit.num_lines())
@@ -575,7 +632,14 @@ int main(int argc, char** argv) {
             .set("cache_hits", br.stats.cache_hits)
             .set("cache_misses", br.stats.cache_misses)
             .set("cache_orbit_hits", br.stats.cache_orbit_hits)
-            .set("batch_dedup", br.stats.batch_dedup);
+            .set("batch_dedup", br.stats.batch_dedup)
+            .set("batch_skipped", br.stats.skipped);
+        if (shard_count > 1) {
+          // Lets tools/metrics_report label the per-shard breakdown rows
+          // without inferring shards from filenames.
+          summary.set("shard", std::to_string(shard_index) + "/" +
+                                   std::to_string(shard_count));
+        }
         if (ok) {
           summary.set("gates", total_gates).set("quantum_cost", total_cost);
         } else {
